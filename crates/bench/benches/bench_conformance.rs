@@ -1,0 +1,91 @@
+//! Benchmarks for trace recording and specification checking
+//! (experiment T2): simulator throughput, recorder overhead, and the cost
+//! of each checker family on a recorded trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graybox_clock::ProcessId;
+use graybox_simnet::{SimConfig, SimTime, Simulation};
+use graybox_spec::lspec::{self, DEFAULT_GRACE};
+use graybox_spec::{convergence, tme_spec, Trace, TraceRecorder};
+use graybox_tme::{Implementation, TmeProcess, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn build_sim(implementation: Implementation, n: usize, seed: u64) -> Simulation<TmeProcess> {
+    let procs = (0..n as u32)
+        .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
+        .collect();
+    let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
+    Workload::generate(
+        WorkloadConfig {
+            n,
+            requests_per_process: 4,
+            mean_think: 30,
+            eat_for: 4,
+            start: 1,
+        },
+        seed,
+    )
+    .apply(&mut sim);
+    sim
+}
+
+fn recorded_trace(implementation: Implementation, n: usize) -> Trace {
+    let mut sim = build_sim(implementation, n, 3);
+    let mut recorder = TraceRecorder::new(&sim);
+    recorder.run_until(&mut sim, SimTime::from(2_000));
+    recorder.into_trace()
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_fault_free_run");
+    for implementation in Implementation::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(implementation.label()),
+            &implementation,
+            |b, &implementation| {
+                b.iter(|| {
+                    let mut sim = build_sim(implementation, 4, 5);
+                    black_box(sim.run_until(SimTime::from(2_000)).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recording_overhead(c: &mut Criterion) {
+    c.bench_function("record_trace_n4", |b| {
+        b.iter(|| {
+            let mut sim = build_sim(Implementation::RicartAgrawala, 4, 5);
+            let mut recorder = TraceRecorder::new(&sim);
+            recorder.run_until(&mut sim, SimTime::from(2_000));
+            black_box(recorder.into_trace().steps().len())
+        })
+    });
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let trace = recorded_trace(Implementation::RicartAgrawala, 4);
+    let mut group = c.benchmark_group("checkers_on_recorded_trace");
+    group.bench_function("lspec_all", |b| {
+        b.iter(|| black_box(lspec::check_all(&trace, DEFAULT_GRACE).holds()))
+    });
+    group.bench_function("tme_spec_all", |b| {
+        b.iter(|| black_box(tme_spec::check_all(&trace, DEFAULT_GRACE).holds()))
+    });
+    group.bench_function("invariant_i", |b| {
+        b.iter(|| black_box(lspec::check_invariant_i(&trace).holds()))
+    });
+    group.bench_function("convergence_analysis", |b| {
+        b.iter(|| black_box(convergence::analyze(&trace, DEFAULT_GRACE).stabilized()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation_throughput,
+    bench_recording_overhead,
+    bench_checkers
+);
+criterion_main!(benches);

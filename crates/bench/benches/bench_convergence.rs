@@ -1,0 +1,69 @@
+//! Benchmarks for the stabilization experiments (T3/T4/F2/T5): end-to-end
+//! deadlock recovery and fault-storm runs, per implementation and size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graybox_faults::{run_tme, scenarios, FaultKind, FaultPlan, RunConfig};
+use graybox_tme::Implementation;
+use graybox_wrapper::WrapperConfig;
+use std::hint::black_box;
+
+fn bench_deadlock_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deadlock_recovery");
+    for implementation in Implementation::ALL {
+        for n in [2usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}_n{n}", implementation.label())),
+                &(implementation, n),
+                |b, &(implementation, n)| {
+                    b.iter(|| {
+                        let config = RunConfig::new(n, implementation)
+                            .wrapper(WrapperConfig::timeout(8))
+                            .seed(5);
+                        let (_, outcome) = scenarios::deadlock(&config);
+                        assert!(outcome.verdict.stabilized);
+                        black_box(outcome.total_entries)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fault_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_fault_storm");
+    for implementation in Implementation::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(implementation.label()),
+            &implementation,
+            |b, &implementation| {
+                b.iter(|| {
+                    let config = RunConfig::new(3, implementation)
+                        .wrapper(WrapperConfig::timeout(8))
+                        .seed(9)
+                        .faults(FaultPlan::random_mix(9, (40, 200), 10, &FaultKind::ALL));
+                    black_box(run_tme(&config).verdict.stabilized)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unwrapped_baseline(c: &mut Criterion) {
+    c.bench_function("unwrapped_deadlock_to_horizon", |b| {
+        b.iter(|| {
+            let config = RunConfig::new(2, Implementation::RicartAgrawala).seed(5);
+            let (_, outcome) = scenarios::deadlock(&config);
+            black_box(outcome.verdict.stabilized)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_deadlock_recovery,
+    bench_fault_storm,
+    bench_unwrapped_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Benchmarks for the formal layer: system relations, stabilization model
+//! checking, fair composition, and the Dijkstra ring (experiments F1/T1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graybox_core::fairness::FairComposition;
+use graybox_core::randsys::{random_subsystem, random_system, random_wrapper_pair};
+use graybox_core::theorems::check_theorem1;
+use graybox_core::{dijkstra, everywhere_implements, figure1, is_stabilizing_to, tme_abstract};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    c.bench_function("figure1_all_relations", |b| {
+        b.iter(|| {
+            let (a, sys_c) = figure1::systems();
+            black_box(is_stabilizing_to(&sys_c, &a).holds())
+                ^ black_box(is_stabilizing_to(&a, &a).holds())
+        })
+    });
+}
+
+fn bench_stabilization_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_stabilizing_to");
+    for states in [16usize, 64, 256] {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = random_system(&mut rng, states, 3, 0.3);
+        let impl_sys = random_subsystem(&mut rng, &a);
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| black_box(is_stabilizing_to(&impl_sys, &a).holds()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let a = random_system(&mut rng, 64, 3, 0.3);
+    let impl_sys = random_subsystem(&mut rng, &a);
+    let (w, w_prime) = random_wrapper_pair(&mut rng, 64, 3);
+    assert!(everywhere_implements(&impl_sys, &a));
+    c.bench_function("theorem1_instance_64_states", |b| {
+        b.iter(|| {
+            black_box(
+                check_theorem1(&impl_sys, &a, &w_prime, &w)
+                    .unwrap()
+                    .validated(),
+            )
+        })
+    });
+}
+
+fn bench_fair_composition(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let a = random_system(&mut rng, 64, 3, 0.3);
+    let w = random_system(&mut rng, 64, 3, 0.8);
+    c.bench_function("fair_composition_scc_check_64_states", |b| {
+        b.iter(|| {
+            let fair = FairComposition::new(vec![a.clone(), w.clone()]).unwrap();
+            black_box(fair.is_stabilizing_to(&a).holds())
+        })
+    });
+}
+
+fn bench_dijkstra_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra_ring");
+    for (n, k) in [(3usize, 3usize), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    let ring = dijkstra::ring(n, k).unwrap();
+                    black_box(ring.stabilizes().holds())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_abstract_tme(c: &mut Criterion) {
+    c.bench_function("abstract_tme_exhaustive_check", |b| {
+        b.iter(|| {
+            let tme = tme_abstract::build().unwrap();
+            black_box(tme.wrapped_stabilizes())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figure1,
+    bench_stabilization_check,
+    bench_theorem1,
+    bench_fair_composition,
+    bench_dijkstra_ring,
+    bench_abstract_tme
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks for the wrapper-tuning experiments (F3/F4/T6): recovery at
+//! different timeouts and the refined/unrefined ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graybox_faults::{run_tme, scenarios, RunConfig};
+use graybox_simnet::SimTime;
+use graybox_tme::{Implementation, WorkloadConfig};
+use graybox_wrapper::WrapperConfig;
+use std::hint::black_box;
+
+fn bench_theta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deadlock_recovery_theta");
+    for theta in [0u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            b.iter(|| {
+                let config = RunConfig::new(3, Implementation::RicartAgrawala)
+                    .wrapper(WrapperConfig::timeout(theta))
+                    .seed(5)
+                    .horizon(SimTime::from(6_000));
+                let (_, outcome) = scenarios::deadlock(&config);
+                assert!(outcome.verdict.stabilized);
+                black_box(outcome.wrapper_resends)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wrapper_variant");
+    for (label, config) in [
+        ("refined", WrapperConfig::timeout(8)),
+        ("unrefined", WrapperConfig::unrefined(8)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &config,
+            |b, &wrapper| {
+                b.iter(|| {
+                    let config = RunConfig::new(4, Implementation::RicartAgrawala)
+                        .wrapper(wrapper)
+                        .seed(7)
+                        .horizon(SimTime::from(6_000));
+                    let (_, outcome) = scenarios::deadlock(&config);
+                    black_box(outcome.wrapper_resends)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_steady_state_overhead(c: &mut Criterion) {
+    c.bench_function("fault_free_wrapped_workload", |b| {
+        b.iter(|| {
+            let n = 4;
+            let config = RunConfig::new(n, Implementation::RicartAgrawala)
+                .wrapper(WrapperConfig::timeout(16))
+                .seed(11)
+                .workload(WorkloadConfig {
+                    n,
+                    requests_per_process: 4,
+                    mean_think: 50,
+                    eat_for: 5,
+                    start: 1,
+                });
+            black_box(run_tme(&config).wrapper_resends)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_theta_sweep,
+    bench_ablation,
+    bench_steady_state_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for the graybox stabilization workspace; see `benches/`.

@@ -1,0 +1,239 @@
+use std::collections::HashMap;
+
+use crate::ProcessId;
+
+/// A vector clock over a fixed set of `n` processes.
+///
+/// Used by the omniscient [`HbRecorder`] (not by the protocol processes
+/// themselves) to decide Lamport's happened-before relation exactly, which
+/// the trace checkers need for Timestamp Spec and ME3 (first-come
+/// first-serve).
+///
+/// # Example
+///
+/// ```
+/// use graybox_clock::{ProcessId, VectorClock};
+///
+/// let mut a = VectorClock::new(2);
+/// a.tick(ProcessId(0));
+/// let mut b = VectorClock::new(2);
+/// b.tick(ProcessId(1));
+/// assert!(!a.dominated_by(&b) && !b.dominated_by(&a)); // concurrent
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// Creates the all-zero vector clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Advances the component of `pid` for a local event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for this clock's process count.
+    pub fn tick(&mut self, pid: ProcessId) {
+        self.0[pid.index()] += 1;
+    }
+
+    /// Joins `other` into `self` (component-wise maximum).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `self ≤ other` component-wise: every event `self` knows about,
+    /// `other` knows about too.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// The component for `pid`.
+    pub fn component(&self, pid: ProcessId) -> u64 {
+        self.0[pid.index()]
+    }
+}
+
+/// A handle to an event recorded by an [`HbRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventRef(usize);
+
+/// Omniscient happened-before recorder.
+///
+/// The simulation driver reports every event (local step, send, receive) as
+/// it executes; the recorder maintains exact vector clocks so trace checkers
+/// can later query `e hb f`. Messages are keyed by the substrate's unique
+/// message ids; a receive of an *unknown* id (e.g. a fault-injected garbage
+/// message) simply contributes no causal edge, matching the intuition that a
+/// corrupted message carries no legitimate causal history.
+///
+/// # Example
+///
+/// ```
+/// use graybox_clock::{HbRecorder, ProcessId};
+///
+/// let mut rec = HbRecorder::new(2);
+/// let send = rec.send_event(ProcessId(0), 7);
+/// let recv = rec.receive_event(ProcessId(1), 7);
+/// assert!(rec.happened_before(send, recv));
+/// assert!(!rec.happened_before(recv, send));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbRecorder {
+    proc_clocks: Vec<VectorClock>,
+    events: Vec<VectorClock>,
+    send_clocks: HashMap<u64, VectorClock>,
+}
+
+impl HbRecorder {
+    /// Creates a recorder for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        HbRecorder {
+            proc_clocks: (0..n).map(|_| VectorClock::new(n)).collect(),
+            events: Vec::new(),
+            send_clocks: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, pid: ProcessId) -> EventRef {
+        let clock = self.proc_clocks[pid.index()].clone();
+        self.events.push(clock);
+        EventRef(self.events.len() - 1)
+    }
+
+    /// Records a purely local event at `pid`.
+    pub fn local_event(&mut self, pid: ProcessId) -> EventRef {
+        self.proc_clocks[pid.index()].tick(pid);
+        self.record(pid)
+    }
+
+    /// Records a send event of message `msg_id` at `pid`.
+    pub fn send_event(&mut self, pid: ProcessId, msg_id: u64) -> EventRef {
+        self.proc_clocks[pid.index()].tick(pid);
+        let event = self.record(pid);
+        self.send_clocks
+            .insert(msg_id, self.events[event.0].clone());
+        event
+    }
+
+    /// Records a receive event of message `msg_id` at `pid`, joining the
+    /// sender's causal history if the message is known.
+    pub fn receive_event(&mut self, pid: ProcessId, msg_id: u64) -> EventRef {
+        if let Some(send_clock) = self.send_clocks.get(&msg_id).cloned() {
+            self.proc_clocks[pid.index()].join(&send_clock);
+        }
+        self.proc_clocks[pid.index()].tick(pid);
+        self.record(pid)
+    }
+
+    /// Lamport's happened-before: `a hb b` iff `a`'s history is strictly
+    /// contained in `b`'s.
+    pub fn happened_before(&self, a: EventRef, b: EventRef) -> bool {
+        let (ca, cb) = (&self.events[a.0], &self.events[b.0]);
+        ca != cb && ca.dominated_by(cb)
+    }
+
+    /// True when neither event causally precedes the other.
+    pub fn concurrent(&self, a: EventRef, b: EventRef) -> bool {
+        !self.happened_before(a, b) && !self.happened_before(b, a) && a != b
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+    const P2: ProcessId = ProcessId(2);
+
+    #[test]
+    fn process_order_implies_hb() {
+        let mut rec = HbRecorder::new(1);
+        let a = rec.local_event(P0);
+        let b = rec.local_event(P0);
+        assert!(rec.happened_before(a, b));
+        assert!(!rec.happened_before(b, a));
+    }
+
+    #[test]
+    fn message_edge_implies_hb() {
+        let mut rec = HbRecorder::new(2);
+        let s = rec.send_event(P0, 1);
+        let r = rec.receive_event(P1, 1);
+        assert!(rec.happened_before(s, r));
+    }
+
+    #[test]
+    fn unrelated_events_are_concurrent() {
+        let mut rec = HbRecorder::new(2);
+        let a = rec.local_event(P0);
+        let b = rec.local_event(P1);
+        assert!(rec.concurrent(a, b));
+    }
+
+    #[test]
+    fn hb_is_transitive_through_messages() {
+        let mut rec = HbRecorder::new(3);
+        let a = rec.local_event(P0);
+        let s = rec.send_event(P0, 9);
+        let r = rec.receive_event(P1, 9);
+        let s2 = rec.send_event(P1, 10);
+        let r2 = rec.receive_event(P2, 10);
+        assert!(rec.happened_before(a, r2));
+        assert!(rec.happened_before(s, s2));
+        assert!(rec.happened_before(r, r2));
+    }
+
+    #[test]
+    fn garbage_message_contributes_no_edge() {
+        let mut rec = HbRecorder::new(2);
+        let a = rec.local_event(P0);
+        // Receive of a message id never sent: fault-injected garbage.
+        let r = rec.receive_event(P1, 999);
+        assert!(rec.concurrent(a, r));
+    }
+
+    #[test]
+    fn hb_is_irreflexive() {
+        let mut rec = HbRecorder::new(1);
+        let a = rec.local_event(P0);
+        assert!(!rec.happened_before(a, a));
+        assert!(!rec.concurrent(a, a));
+    }
+
+    #[test]
+    fn vector_clock_domination() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        assert!(a.dominated_by(&b) && b.dominated_by(&a));
+        a.tick(P0);
+        assert!(b.dominated_by(&a));
+        assert!(!a.dominated_by(&b));
+        b.join(&a);
+        assert!(a.dominated_by(&b));
+        assert_eq!(b.component(P0), 1);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_recorded_events() {
+        let mut rec = HbRecorder::new(1);
+        assert!(rec.is_empty());
+        rec.local_event(P0);
+        assert_eq!(rec.len(), 1);
+        assert!(!rec.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+use crate::{ProcessId, Timestamp};
+
+/// A Lamport logical clock, the paper's reference implementation of the
+/// Environment Spec's *Timestamp Spec*.
+///
+/// The clock advances on every local event ([`tick`](LamportClock::tick)) and
+/// absorbs remote timestamps on message receipt
+/// ([`witness`](LamportClock::witness)), guaranteeing `e hb f ⇒ ts.e < ts.f`.
+///
+/// Because the fault model allows transient state corruption, the raw clock
+/// value can also be overwritten via
+/// [`set_time`](LamportClock::set_time) — legitimate protocol code never
+/// calls it; fault injectors do.
+///
+/// # Example
+///
+/// ```
+/// use graybox_clock::{LamportClock, ProcessId};
+///
+/// let mut clock = LamportClock::new(ProcessId(3));
+/// let first = clock.tick();
+/// let second = clock.tick();
+/// assert!(first.lt(second));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LamportClock {
+    pid: ProcessId,
+    time: u64,
+}
+
+impl LamportClock {
+    /// Creates a clock at the paper's initial value `ts.j = 0`.
+    pub fn new(pid: ProcessId) -> Self {
+        LamportClock { pid, time: 0 }
+    }
+
+    /// The identity of the owning process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The timestamp of the most current event at this process (`ts.j`).
+    pub fn now(&self) -> Timestamp {
+        Timestamp::new(self.time, self.pid)
+    }
+
+    /// Advances the clock for a new local event and returns the event's
+    /// timestamp.
+    pub fn tick(&mut self) -> Timestamp {
+        self.time = self.time.saturating_add(1);
+        self.now()
+    }
+
+    /// Absorbs a timestamp observed on a received message, so the next local
+    /// event is ordered after the send (`e hb f ⇒ ts.e < ts.f`).
+    ///
+    /// Note this only raises the clock; the receive event itself should be
+    /// stamped by a following [`tick`](LamportClock::tick).
+    pub fn witness(&mut self, observed: Timestamp) {
+        self.time = self.now().joined(observed).time;
+    }
+
+    /// Absorbs a remote timestamp and immediately stamps the receive event.
+    /// Equivalent to `witness(observed)` followed by `tick()`.
+    pub fn receive(&mut self, observed: Timestamp) -> Timestamp {
+        self.witness(observed);
+        self.tick()
+    }
+
+    /// Overwrites the raw clock value. **Fault injection only** — this
+    /// deliberately violates monotonicity to model the paper's "transiently
+    /// (and arbitrarily) corrupted" process state.
+    pub fn set_time(&mut self, time: u64) {
+        self.time = time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_strictly_monotone() {
+        let mut c = LamportClock::new(ProcessId(0));
+        let mut prev = c.now();
+        for _ in 0..100 {
+            let next = c.tick();
+            assert!(prev.lt(next));
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn witness_raises_clock_past_remote() {
+        let mut c = LamportClock::new(ProcessId(0));
+        c.witness(Timestamp::new(41, ProcessId(1)));
+        let stamped = c.tick();
+        assert_eq!(stamped.time, 42);
+    }
+
+    #[test]
+    fn witness_never_lowers_clock() {
+        let mut c = LamportClock::new(ProcessId(0));
+        c.set_time(100);
+        c.witness(Timestamp::new(5, ProcessId(1)));
+        assert_eq!(c.now().time, 100);
+    }
+
+    #[test]
+    fn receive_orders_after_send() {
+        let mut sender = LamportClock::new(ProcessId(0));
+        let mut receiver = LamportClock::new(ProcessId(1));
+        let send = sender.tick();
+        let recv = receiver.receive(send);
+        assert!(send.lt(recv));
+    }
+
+    #[test]
+    fn set_time_models_corruption() {
+        let mut c = LamportClock::new(ProcessId(0));
+        c.tick();
+        c.tick();
+        c.set_time(0);
+        assert_eq!(c.now().time, 0);
+    }
+
+    #[test]
+    fn tick_saturates_instead_of_wrapping() {
+        let mut c = LamportClock::new(ProcessId(0));
+        c.set_time(u64::MAX);
+        let t = c.tick();
+        assert_eq!(t.time, u64::MAX);
+    }
+}

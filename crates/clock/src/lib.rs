@@ -1,0 +1,41 @@
+//! Logical time for graybox stabilization.
+//!
+//! This crate provides the *Environment Spec* substrate of the paper
+//! "Graybox Stabilization" (Arora, Demirbas, Kulkarni; DSN 2001): totally
+//! ordered timestamps produced by Lamport logical clocks, and an omniscient
+//! happened-before recorder used by the trace checkers.
+//!
+//! The paper's *Timestamp Spec* demands that timestamps
+//!
+//! 1. come from a totally ordered domain (the relation `lt`), and
+//! 2. respect the happened-before relation: `e hb f ⇒ ts.e < ts.f`.
+//!
+//! Lamport logical clocks satisfy both ([`Timestamp`] implements the total
+//! order `(time, pid)` lexicographically, exactly the paper's
+//! `lc.e lt lc.f ≡ lc.e < lc.f ∨ (lc.e = lc.f ∧ j < k)`).
+//!
+//! # Example
+//!
+//! ```
+//! use graybox_clock::{LamportClock, ProcessId};
+//!
+//! let mut a = LamportClock::new(ProcessId(0));
+//! let mut b = LamportClock::new(ProcessId(1));
+//! let send = a.tick();          // event at process 0
+//! b.witness(send);              // message received at process 1
+//! let recv = b.tick();
+//! assert!(send.lt(recv));       // hb implies lt
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hb;
+mod lamport;
+mod pid;
+mod timestamp;
+
+pub use hb::{EventRef, HbRecorder, VectorClock};
+pub use lamport::LamportClock;
+pub use pid::ProcessId;
+pub use timestamp::Timestamp;

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Identity of a process in the distributed system.
+///
+/// Process identities double as the tie-breaker of the paper's total order
+/// `lt` on timestamps, so they are totally ordered themselves.
+///
+/// # Example
+///
+/// ```
+/// use graybox_clock::ProcessId;
+///
+/// let j = ProcessId(0);
+/// let k = ProcessId(1);
+/// assert!(j < k);
+/// assert_eq!(j.to_string(), "p0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Returns the identity as a plain index, convenient for `Vec` lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Enumerates the identities `p0 .. p(n-1)` of an `n`-process system.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ProcessId(0) < ProcessId(1));
+        assert!(ProcessId(7) > ProcessId(3));
+        assert_eq!(ProcessId(4), ProcessId(4));
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<_> = ProcessId::all(3).collect();
+        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ProcessId(9).index(), 9);
+        assert_eq!(ProcessId::from(9u32), ProcessId(9));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ProcessId(12).to_string(), "p12");
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+
+use crate::ProcessId;
+
+/// A logical timestamp from a totally ordered domain.
+///
+/// The paper's Environment Spec requires timestamps to be totally ordered by
+/// the relation `lt`; Lamport's construction extends the partial order of
+/// clock values with the process identity as a tie-breaker:
+///
+/// ```text
+/// lc.e_j lt lc.f_k  ≡  lc.e_j < lc.f_k ∨ (lc.e_j = lc.f_k ∧ j < k)
+/// ```
+///
+/// [`Ord`] on `Timestamp` implements exactly this relation, so `a < b` *is*
+/// `a lt b`. Two timestamps of *distinct* processes are never equal under
+/// `lt`, which the mutual-exclusion entry condition relies on.
+///
+/// # Example
+///
+/// ```
+/// use graybox_clock::{ProcessId, Timestamp};
+///
+/// let a = Timestamp::new(3, ProcessId(0));
+/// let b = Timestamp::new(3, ProcessId(1));
+/// assert!(a.lt(b)); // equal clock values break ties by process id
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp {
+    /// Logical clock value (Lamport counter).
+    pub time: u64,
+    /// Identity of the process whose event this timestamp stamps.
+    pub pid: ProcessId,
+}
+
+impl Timestamp {
+    /// Creates a timestamp for an event with clock value `time` at `pid`.
+    pub fn new(time: u64, pid: ProcessId) -> Self {
+        Timestamp { time, pid }
+    }
+
+    /// The initial timestamp `0` of a process, as required by the paper's
+    /// `Init` (`∀j: REQ_j = 0 ∧ ts.j = 0`).
+    pub fn zero(pid: ProcessId) -> Self {
+        Timestamp { time: 0, pid }
+    }
+
+    /// The paper's total order `lt`, provided as a named method so call
+    /// sites can mirror the specification text (`REQ_j lt j.REQ_k`).
+    pub fn lt(self, other: Timestamp) -> bool {
+        self < other
+    }
+
+    /// Returns the timestamp with `time` advanced past `other`, keeping our
+    /// process identity. Used by clock `witness` operations.
+    pub(crate) fn joined(self, other: Timestamp) -> Timestamp {
+        Timestamp {
+            time: self.time.max(other.time),
+            pid: self.pid,
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.time, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(time: u64, pid: u32) -> Timestamp {
+        Timestamp::new(time, ProcessId(pid))
+    }
+
+    #[test]
+    fn lt_orders_by_time_first() {
+        assert!(ts(1, 5).lt(ts(2, 0)));
+        assert!(!ts(2, 0).lt(ts(1, 5)));
+    }
+
+    #[test]
+    fn lt_breaks_ties_by_pid() {
+        assert!(ts(4, 0).lt(ts(4, 1)));
+        assert!(!ts(4, 1).lt(ts(4, 0)));
+    }
+
+    #[test]
+    fn lt_is_irreflexive() {
+        assert!(!ts(3, 3).lt(ts(3, 3)));
+    }
+
+    #[test]
+    fn distinct_processes_are_always_comparable() {
+        let a = ts(7, 0);
+        let b = ts(7, 1);
+        assert!(a.lt(b) ^ b.lt(a));
+    }
+
+    #[test]
+    fn zero_is_minimal_for_a_process() {
+        let z = Timestamp::zero(ProcessId(2));
+        assert_eq!(z.time, 0);
+        assert!(z.lt(ts(1, 2)));
+    }
+
+    #[test]
+    fn display_shows_time_and_pid() {
+        assert_eq!(ts(9, 1).to_string(), "9@p1");
+    }
+
+    #[test]
+    fn joined_takes_max_time_keeps_pid() {
+        let a = ts(3, 0);
+        let b = ts(8, 1);
+        let j = a.joined(b);
+        assert_eq!(j, ts(8, 0));
+        assert_eq!(a.joined(ts(1, 1)), ts(3, 0));
+    }
+}

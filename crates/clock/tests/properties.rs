@@ -1,0 +1,111 @@
+//! Property-based tests for timestamps, clocks, and the happened-before
+//! recorder.
+
+use graybox_clock::{HbRecorder, LamportClock, ProcessId, Timestamp};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn ts() -> impl Strategy<Value = Timestamp> {
+    (0u64..200, 0u32..6).prop_map(|(time, pid)| Timestamp::new(time, ProcessId(pid)))
+}
+
+proptest! {
+    #[test]
+    fn lt_is_irreflexive_total_transitive(a in ts(), b in ts(), c in ts()) {
+        prop_assert!(!a.lt(a));
+        if a != b {
+            prop_assert!(a.lt(b) ^ b.lt(a));
+        }
+        if a.lt(b) && b.lt(c) {
+            prop_assert!(a.lt(c));
+        }
+    }
+
+    #[test]
+    fn lt_agrees_with_derived_ord(a in ts(), b in ts()) {
+        prop_assert_eq!(a.lt(b), a < b);
+    }
+
+    #[test]
+    fn distinct_pids_never_tie(time in 0u64..50, p in 0u32..6, q in 0u32..6) {
+        prop_assume!(p != q);
+        let a = Timestamp::new(time, ProcessId(p));
+        let b = Timestamp::new(time, ProcessId(q));
+        prop_assert!(a.lt(b) ^ b.lt(a));
+    }
+
+    #[test]
+    fn clock_now_is_monotone_under_any_event_mix(seed in 0u64..1_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut clock = LamportClock::new(ProcessId(0));
+        let mut previous = clock.now();
+        for _ in 0..50 {
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    clock.tick();
+                }
+                1 => clock.witness(Timestamp::new(rng.gen_range(0..100), ProcessId(1))),
+                _ => {
+                    clock.receive(Timestamp::new(rng.gen_range(0..100), ProcessId(1)));
+                }
+            }
+            let now = clock.now();
+            prop_assert!(now >= previous, "clock went backwards");
+            previous = now;
+        }
+    }
+
+    #[test]
+    fn hb_is_a_strict_partial_order(seed in 0u64..500) {
+        // Build a random event history over 3 processes, then check
+        // irreflexivity, antisymmetry, transitivity on all event pairs.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rec = HbRecorder::new(3);
+        let mut events = Vec::new();
+        let mut sent: Vec<u64> = Vec::new();
+        let mut next_msg = 0u64;
+        for _ in 0..24 {
+            let pid = ProcessId(rng.gen_range(0..3));
+            match rng.gen_range(0..3u8) {
+                0 => events.push(rec.local_event(pid)),
+                1 => {
+                    next_msg += 1;
+                    sent.push(next_msg);
+                    events.push(rec.send_event(pid, next_msg));
+                }
+                _ => {
+                    if let Some(&msg) = sent.last() {
+                        events.push(rec.receive_event(pid, msg));
+                    } else {
+                        events.push(rec.local_event(pid));
+                    }
+                }
+            }
+        }
+        for &a in &events {
+            prop_assert!(!rec.happened_before(a, a));
+            for &b in &events {
+                if rec.happened_before(a, b) {
+                    prop_assert!(!rec.happened_before(b, a), "hb not antisymmetric");
+                }
+                for &c in &events {
+                    if rec.happened_before(a, b) && rec.happened_before(b, c) {
+                        prop_assert!(rec.happened_before(a, c), "hb not transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_process_events_are_totally_ordered(count in 2usize..20) {
+        let mut rec = HbRecorder::new(1);
+        let events: Vec<_> = (0..count).map(|_| rec.local_event(ProcessId(0))).collect();
+        for (i, &a) in events.iter().enumerate() {
+            for &b in &events[i + 1..] {
+                assert!(rec.happened_before(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Brute-force definitional checkers, for cross-validating the graph
+//! algorithms.
+//!
+//! [`is_stabilizing_to`](crate::is_stabilizing_to) decides stabilization
+//! with an SCC/cycle argument. This module re-decides it **from the
+//! definition**: a finite system's infinite computations are exactly its
+//! lassos (a finite stem followed by a repeated cycle), and a lasso
+//! stabilizes iff from some index onward every edge is a legitimate
+//! `A`-transition — which, for an eventually periodic sequence, means the
+//! cycle's edges are all legitimate. Enumerating all simple cycles is
+//! exponential; it is used only on tiny systems, in property tests that
+//! pit the two deciders against each other on thousands of random
+//! instances ([`crate::randsys`]).
+
+use std::collections::BTreeSet;
+
+use crate::FiniteSystem;
+
+/// Enumerates every simple cycle of the system (as edge lists). Only
+/// sensible for small systems (≤ ~10 states).
+pub fn simple_cycles(sys: &FiniteSystem) -> Vec<Vec<(usize, usize)>> {
+    let mut cycles = Vec::new();
+    let n = sys.num_states();
+    // For each start state, DFS over paths that only visit states >= start
+    // (Johnson-style canonicalization to avoid duplicates).
+    for start in 0..n {
+        let mut path: Vec<usize> = vec![start];
+        let mut on_path: BTreeSet<usize> = BTreeSet::from([start]);
+        dfs(sys, start, start, &mut path, &mut on_path, &mut cycles);
+    }
+    cycles
+}
+
+fn dfs(
+    sys: &FiniteSystem,
+    start: usize,
+    current: usize,
+    path: &mut Vec<usize>,
+    on_path: &mut BTreeSet<usize>,
+    cycles: &mut Vec<Vec<(usize, usize)>>,
+) {
+    for next in sys.successors(current).collect::<Vec<_>>() {
+        if next == start {
+            let mut cycle: Vec<(usize, usize)> = path.windows(2).map(|w| (w[0], w[1])).collect();
+            cycle.push((current, start));
+            cycles.push(cycle);
+        } else if next > start && !on_path.contains(&next) {
+            path.push(next);
+            on_path.insert(next);
+            dfs(sys, start, next, path, on_path, cycles);
+            path.pop();
+            on_path.remove(&next);
+        }
+    }
+}
+
+/// Decides "every infinite computation of `c` has a suffix that is a
+/// suffix of an init-anchored computation of `a`" straight from the lasso
+/// characterization: for every simple cycle of `c` that is reachable from
+/// anywhere (all are — stabilization quantifies over computations from
+/// every state), all of its edges must be legitimate `a`-transitions.
+///
+/// Non-simple recurrent behaviours visit a union of touching simple
+/// cycles; if each simple cycle is fully legitimate, so is any
+/// combination, hence checking simple cycles suffices.
+pub fn is_stabilizing_bruteforce(c: &FiniteSystem, a: &FiniteSystem) -> bool {
+    if c.num_states() != a.num_states() {
+        return false;
+    }
+    let legitimate = a.reachable_from_init();
+    let edge_ok = |(from, to): (usize, usize)| {
+        a.has_edge(from, to) && legitimate.contains(&from) && legitimate.contains(&to)
+    };
+    simple_cycles(c)
+        .iter()
+        .all(|cycle| cycle.iter().all(|&edge| edge_ok(edge)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randsys::{random_subsystem, random_system};
+    use crate::{figure1, is_stabilizing_to};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
+        FiniteSystem::builder(n)
+            .initials(init.iter().copied())
+            .edges(edges.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simple_cycles_of_a_ring() {
+        let ring = sys(3, &[0], &[(0, 1), (1, 2), (2, 0)]);
+        let cycles = simple_cycles(&ring);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+    }
+
+    #[test]
+    fn simple_cycles_count_self_loops_and_two_cycles() {
+        let s = sys(2, &[0], &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let cycles = simple_cycles(&s);
+        // (0,0), (1,1), and 0->1->0.
+        assert_eq!(cycles.len(), 3);
+    }
+
+    #[test]
+    fn bruteforce_agrees_on_figure1() {
+        let (a, c) = figure1::systems();
+        assert!(!is_stabilizing_bruteforce(&c, &a));
+        assert!(is_stabilizing_bruteforce(&a, &a));
+        assert_eq!(
+            is_stabilizing_bruteforce(&c, &a),
+            is_stabilizing_to(&c, &a).holds()
+        );
+    }
+
+    #[test]
+    fn bruteforce_and_scc_checker_agree_on_random_instances() {
+        // The core cross-validation: two independent deciders, thousands
+        // of random instances, zero disagreements.
+        let mut agree_positive = 0;
+        let mut agree_negative = 0;
+        for seed in 0..2_000u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a = random_system(&mut rng, 6, 2, 0.4);
+            let c = if seed % 2 == 0 {
+                random_system(&mut rng, 6, 2, 0.4)
+            } else {
+                random_subsystem(&mut rng, &a)
+            };
+            let fast = is_stabilizing_to(&c, &a).holds();
+            let slow = is_stabilizing_bruteforce(&c, &a);
+            assert_eq!(fast, slow, "seed {seed}: SCC={fast} bruteforce={slow}");
+            if fast {
+                agree_positive += 1;
+            } else {
+                agree_negative += 1;
+            }
+        }
+        // Both outcomes must actually occur, or the test proves nothing.
+        assert!(agree_positive > 50, "only {agree_positive} positive cases");
+        assert!(agree_negative > 50, "only {agree_negative} negative cases");
+    }
+
+    #[test]
+    fn mismatched_spaces_do_not_stabilize() {
+        let a = sys(2, &[0], &[(0, 0), (1, 1)]);
+        let c = sys(3, &[0], &[(0, 0), (1, 1), (2, 2)]);
+        assert!(!is_stabilizing_bruteforce(&c, &a));
+    }
+}

@@ -1,0 +1,106 @@
+use crate::{FiniteSystem, SystemError};
+
+/// The paper's box operator `C ⊓ W` (§2.1).
+///
+/// `C ⊓ W` is "the system whose set of computations is the smallest fusion
+/// closed set that contains the computations of `C` as well as the
+/// computations of `W`, and whose initial states are the common initial
+/// states of `C` and `W`". For path-set systems over a shared state space,
+/// the smallest fusion-closed superset of two path sets is the path set of
+/// the *edge union* — so box composition is edge union plus init
+/// intersection.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the operands disagree on the state-space size
+/// (reported as an out-of-range state).
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::{box_compose, FiniteSystem};
+///
+/// let c = FiniteSystem::builder(2).initial(0).edges([(0, 0), (1, 1)]).build()?;
+/// let w = FiniteSystem::builder(2).initial(0).initial(1).edges([(0, 1), (1, 0)]).build()?;
+/// let both = box_compose(&c, &w)?;
+/// assert!(both.has_edge(0, 0) && both.has_edge(0, 1));
+/// assert_eq!(both.init().len(), 1); // common initial states only
+/// # Ok::<(), graybox_core::SystemError>(())
+/// ```
+pub fn box_compose(c: &FiniteSystem, w: &FiniteSystem) -> Result<FiniteSystem, SystemError> {
+    if c.num_states() != w.num_states() {
+        return Err(SystemError::StateOutOfRange {
+            state: c.num_states().max(w.num_states()) - 1,
+            num_states: c.num_states().min(w.num_states()),
+        });
+    }
+    FiniteSystem::builder(c.num_states())
+        .initials(c.init().intersection(w.init()).copied())
+        .edges(c.edges().iter().copied())
+        .edges(w.edges().iter().copied())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
+        FiniteSystem::builder(n)
+            .initials(init.iter().copied())
+            .edges(edges.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn box_unions_edges_and_intersects_inits() {
+        let c = sys(3, &[0, 1], &[(0, 1), (1, 2), (2, 2)]);
+        let w = sys(3, &[1, 2], &[(0, 0), (1, 1), (2, 0)]);
+        let both = box_compose(&c, &w).unwrap();
+        assert_eq!(both.init().iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(both.edges().len(), 6);
+    }
+
+    #[test]
+    fn box_is_commutative() {
+        let c = sys(2, &[0], &[(0, 1), (1, 0)]);
+        let w = sys(2, &[0, 1], &[(0, 0), (1, 1)]);
+        assert_eq!(box_compose(&c, &w).unwrap(), box_compose(&w, &c).unwrap());
+    }
+
+    #[test]
+    fn box_is_idempotent() {
+        let c = sys(2, &[0], &[(0, 1), (1, 0)]);
+        assert_eq!(box_compose(&c, &c).unwrap(), c);
+    }
+
+    #[test]
+    fn box_is_associative() {
+        let a = sys(2, &[0], &[(0, 1), (1, 0)]);
+        let b = sys(2, &[0, 1], &[(0, 0), (1, 1)]);
+        let c = sys(2, &[0], &[(1, 0), (0, 0)]);
+        let left = box_compose(&box_compose(&a, &b).unwrap(), &c).unwrap();
+        let right = box_compose(&a, &box_compose(&b, &c).unwrap()).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn mismatched_spaces_are_rejected() {
+        let c = sys(2, &[0], &[(0, 1), (1, 0)]);
+        let w = sys(3, &[0], &[(0, 0), (1, 1), (2, 2)]);
+        assert!(box_compose(&c, &w).is_err());
+    }
+
+    #[test]
+    fn composition_preserves_totality() {
+        // Both operands are total, so the union trivially is; the builder
+        // would reject otherwise.
+        let c = sys(2, &[0], &[(0, 1), (1, 0)]);
+        let w = sys(2, &[0], &[(0, 0), (1, 1)]);
+        let both = box_compose(&c, &w).unwrap();
+        for state in 0..2 {
+            assert!(both.successors(state).next().is_some());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's Figure 1 counterexample, reconstructed.
+//!
+//! Figure 1 shows why `[C ⇒ A]_init` is not enough for graybox design:
+//! both `A` and `C` have the single init-anchored computation
+//! `s0, s1, s2, s3, …`, so `[C ⇒ A]_init` holds. A transient fault `F`
+//! throws the system from `s0` to the illegitimate state `s*`. In `A`,
+//! `s*` continues as `s*, s2, s3, …` — whose suffix `s2, s3, …` is a
+//! suffix of the legitimate computation — so `A` is stabilizing to `A`.
+//! In `C`, `s*` has no such continuation, so `C` is *not* stabilizing
+//! to `A`, even though it implements `A` from initial states.
+
+use crate::FiniteSystem;
+
+/// Index of the paper's state `s0` (the initial state).
+pub const S0: usize = 0;
+/// Index of `s1`.
+pub const S1: usize = 1;
+/// Index of `s2`.
+pub const S2: usize = 2;
+/// Index of `s3` (which loops, standing for the tail `s3, …`).
+pub const S3: usize = 3;
+/// Index of the fault-introduced state `s*`.
+pub const S_STAR: usize = 4;
+
+/// Builds the pair `(A, C)` of Figure 1.
+///
+/// `A` = `{s0→s1→s2→s3→s3…, s*→s2→…}`, init `{s0}`.
+/// `C` = the same chain, but from `s*` the only computation stays at `s*`.
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::figure1;
+///
+/// let (a, c) = figure1::systems();
+/// assert!(a.has_edge(figure1::S_STAR, figure1::S2));
+/// assert!(!c.has_edge(figure1::S_STAR, figure1::S2));
+/// ```
+pub fn systems() -> (FiniteSystem, FiniteSystem) {
+    let a = FiniteSystem::builder(5)
+        .initial(S0)
+        .edges([(S0, S1), (S1, S2), (S2, S3), (S3, S3), (S_STAR, S2)])
+        .build()
+        .expect("figure 1 spec is well-formed");
+    let c = FiniteSystem::builder(5)
+        .initial(S0)
+        .edges([(S0, S1), (S1, S2), (S2, S3), (S3, S3), (S_STAR, S_STAR)])
+        .build()
+        .expect("figure 1 impl is well-formed");
+    (a, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{everywhere_implements, implements_from_init, is_stabilizing_to};
+
+    #[test]
+    fn c_implements_a_from_init() {
+        let (a, c) = systems();
+        assert!(implements_from_init(&c, &a));
+        assert!(implements_from_init(&a, &c)); // init-reachable parts coincide
+    }
+
+    #[test]
+    fn a_is_stabilizing_to_a() {
+        let (a, _) = systems();
+        assert!(is_stabilizing_to(&a, &a).holds());
+    }
+
+    #[test]
+    fn c_is_not_stabilizing_to_a() {
+        let (a, c) = systems();
+        let report = is_stabilizing_to(&c, &a);
+        assert_eq!(report.divergent_edge, Some((S_STAR, S_STAR)));
+    }
+
+    #[test]
+    fn c_is_not_an_everywhere_implementation() {
+        // This is the diagnosis the paper draws: the counterexample evades
+        // everywhere-implementation, which is why graybox design demands it.
+        let (a, c) = systems();
+        assert!(!everywhere_implements(&c, &a));
+    }
+
+    #[test]
+    fn fault_state_is_illegitimate() {
+        let (a, c) = systems();
+        let report = is_stabilizing_to(&c, &a);
+        assert!(!report.legitimate_states.contains(&S_STAR));
+        assert!(report.legitimate_states.contains(&S0));
+        assert!(report.legitimate_states.contains(&S3));
+        let _ = a;
+    }
+
+    #[test]
+    fn sequence_level_cross_check() {
+        // Check the graph-level verdicts against the paper's sequence-based
+        // definitions on bounded prefixes: the computation of A from s* is
+        // "s*, s2, s3, s3", while C only offers "s*, s*, s*, s*".
+        let (a, c) = systems();
+        assert_eq!(
+            a.computations_from(S_STAR, 4),
+            vec![vec![S_STAR, S2, S3, S3]]
+        );
+        assert_eq!(
+            c.computations_from(S_STAR, 4),
+            vec![vec![S_STAR, S_STAR, S_STAR, S_STAR]]
+        );
+        // And the legitimate computation is shared:
+        assert_eq!(a.computations_from(S0, 4), c.computations_from(S0, 4));
+    }
+}

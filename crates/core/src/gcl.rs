@@ -1,0 +1,469 @@
+//! A guarded-command language over finite variable domains.
+//!
+//! The paper describes implementations in Dijkstra–Scholten guarded
+//! commands and specifications in UNITY; both are fusion-closed. This
+//! module lets finite instances be written the same way and compiled to
+//! [`FiniteSystem`]s:
+//!
+//! * [`Program::compile`] yields the pure path-set system (any enabled
+//!   command may fire; quiescent states stutter), and
+//! * [`Program::compile_fair`] yields a [`FairComposition`] with one
+//!   component per command, which is exactly UNITY's weakly fair execution
+//!   model (a disabled command executes as a skip).
+//!
+//! # Example
+//!
+//! ```
+//! use graybox_core::gcl::Program;
+//!
+//! let mut program = Program::new();
+//! let x = program.var("x", 3);
+//! program.command("inc", move |s| s[x] < 2, move |s| s[x] += 1);
+//! let compiled = program.compile(|s| s[x] == 0)?;
+//! assert_eq!(compiled.system().num_states(), 3);
+//! assert!(compiled.system().has_edge(0, 1));
+//! assert!(compiled.system().has_edge(2, 2)); // quiescent stutter
+//! # Ok::<(), graybox_core::gcl::GclError>(())
+//! ```
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::fairness::FairComposition;
+use crate::{FiniteSystem, SystemError};
+
+/// Default cap on compiled state-space size, to catch accidental blowups.
+pub const DEFAULT_MAX_STATES: usize = 1 << 20;
+
+/// A handle to a program variable, usable to index a [`Valuation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarRef(usize);
+
+impl VarRef {
+    /// The variable's declaration index (its position in decoded value
+    /// vectors such as [`CompiledProgram::decode`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An assignment of a value to every program variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Valuation(Vec<usize>);
+
+impl Valuation {
+    /// The raw values, indexed by declaration order.
+    pub fn values(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl Index<VarRef> for Valuation {
+    type Output = usize;
+    fn index(&self, var: VarRef) -> &usize {
+        &self.0[var.0]
+    }
+}
+
+impl IndexMut<VarRef> for Valuation {
+    fn index_mut(&mut self, var: VarRef) -> &mut usize {
+        &mut self.0[var.0]
+    }
+}
+
+/// Error raised while compiling a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GclError {
+    /// The variable domains multiply out beyond the configured cap.
+    TooManyStates {
+        /// Product of the variable domain sizes.
+        actual: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// A command assigned a value outside its variable's domain.
+    OutOfDomain {
+        /// Name of the offending command.
+        command: String,
+    },
+    /// A variable was declared with an empty domain.
+    EmptyDomain {
+        /// Name of the offending variable.
+        var: String,
+    },
+    /// No state satisfied the initial predicate.
+    NoInitialState,
+    /// The compiled relation failed system validation (internal).
+    System(SystemError),
+}
+
+impl fmt::Display for GclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GclError::TooManyStates { actual, max } => {
+                write!(f, "program has {actual} states, more than the cap {max}")
+            }
+            GclError::OutOfDomain { command } => {
+                write!(f, "command {command:?} assigned a value outside its domain")
+            }
+            GclError::EmptyDomain { var } => write!(f, "variable {var:?} has an empty domain"),
+            GclError::NoInitialState => write!(f, "no state satisfies the initial predicate"),
+            GclError::System(err) => write!(f, "compiled relation invalid: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for GclError {}
+
+impl From<SystemError> for GclError {
+    fn from(err: SystemError) -> Self {
+        GclError::System(err)
+    }
+}
+
+type Guard = Box<dyn Fn(&Valuation) -> bool>;
+type Effect = Box<dyn Fn(&mut Valuation)>;
+
+struct Command {
+    name: String,
+    guard: Guard,
+    effect: Effect,
+}
+
+impl fmt::Debug for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Command").field("name", &self.name).finish()
+    }
+}
+
+/// A guarded-command program over finite-domain variables.
+#[derive(Debug, Default)]
+pub struct Program {
+    vars: Vec<(String, usize)>,
+    commands: Vec<Command>,
+    max_states: Option<usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program {
+            vars: Vec::new(),
+            commands: Vec::new(),
+            max_states: None,
+        }
+    }
+
+    /// Declares a variable with domain `0..domain` and returns its handle.
+    pub fn var(&mut self, name: impl Into<String>, domain: usize) -> VarRef {
+        self.vars.push((name.into(), domain));
+        VarRef(self.vars.len() - 1)
+    }
+
+    /// Adds a guarded command `name :: guard → effect`.
+    pub fn command(
+        &mut self,
+        name: impl Into<String>,
+        guard: impl Fn(&Valuation) -> bool + 'static,
+        effect: impl Fn(&mut Valuation) + 'static,
+    ) {
+        self.commands.push(Command {
+            name: name.into(),
+            guard: Box::new(guard),
+            effect: Box::new(effect),
+        });
+    }
+
+    /// Overrides the state-space cap (default [`DEFAULT_MAX_STATES`]).
+    pub fn max_states(&mut self, max: usize) -> &mut Self {
+        self.max_states = Some(max);
+        self
+    }
+
+    /// Number of declared commands.
+    pub fn num_commands(&self) -> usize {
+        self.commands.len()
+    }
+
+    fn state_count(&self) -> Result<usize, GclError> {
+        let mut total = 1usize;
+        for (name, domain) in &self.vars {
+            if *domain == 0 {
+                return Err(GclError::EmptyDomain { var: name.clone() });
+            }
+            total = total.checked_mul(*domain).ok_or(GclError::TooManyStates {
+                actual: usize::MAX,
+                max: self.max_states.unwrap_or(DEFAULT_MAX_STATES),
+            })?;
+        }
+        let max = self.max_states.unwrap_or(DEFAULT_MAX_STATES);
+        if total > max {
+            return Err(GclError::TooManyStates { actual: total, max });
+        }
+        Ok(total)
+    }
+
+    fn decode(&self, mut state: usize) -> Valuation {
+        let mut values = Vec::with_capacity(self.vars.len());
+        for (_, domain) in &self.vars {
+            values.push(state % domain);
+            state /= domain;
+        }
+        Valuation(values)
+    }
+
+    fn encode(&self, valuation: &Valuation) -> Result<usize, GclError> {
+        let mut state = 0usize;
+        for ((_, domain), &value) in self.vars.iter().zip(&valuation.0).rev() {
+            if value >= *domain {
+                return Err(GclError::OutOfDomain {
+                    command: String::new(),
+                });
+            }
+            state = state * domain + value;
+        }
+        Ok(state)
+    }
+
+    /// Compiles to the pure path-set system: from each state, every enabled
+    /// command contributes an edge; states with no enabled command stutter.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn compile(&self, init: impl Fn(&Valuation) -> bool) -> Result<CompiledProgram, GclError> {
+        let total = self.state_count()?;
+        let mut builder = FiniteSystem::builder(total);
+        let mut any_init = false;
+        for state in 0..total {
+            let valuation = self.decode(state);
+            if init(&valuation) {
+                builder = builder.initial(state);
+                any_init = true;
+            }
+            let mut enabled = false;
+            for command in &self.commands {
+                if (command.guard)(&valuation) {
+                    enabled = true;
+                    let mut next = valuation.clone();
+                    (command.effect)(&mut next);
+                    let encoded = self.encode(&next).map_err(|_| GclError::OutOfDomain {
+                        command: command.name.clone(),
+                    })?;
+                    builder = builder.edge(state, encoded);
+                }
+            }
+            if !enabled {
+                builder = builder.edge(state, state);
+            }
+        }
+        if !any_init {
+            return Err(GclError::NoInitialState);
+        }
+        Ok(CompiledProgram {
+            system: builder.build()?,
+            var_info: self.vars.clone(),
+        })
+    }
+
+    /// Compiles to UNITY's weakly fair execution model: one component per
+    /// command, where a disabled command executes as a skip, composed via
+    /// [`FairComposition`]. Fair computations execute every command
+    /// infinitely often.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn compile_fair(
+        &self,
+        init: impl Fn(&Valuation) -> bool,
+    ) -> Result<(FairComposition, CompiledProgram), GclError> {
+        let compiled = self.compile(&init)?;
+        let total = compiled.system.num_states();
+        let mut components = Vec::with_capacity(self.commands.len());
+        for command in &self.commands {
+            let mut builder = FiniteSystem::builder(total);
+            for state in 0..total {
+                let valuation = self.decode(state);
+                if init(&valuation) {
+                    builder = builder.initial(state);
+                }
+                if (command.guard)(&valuation) {
+                    let mut next = valuation.clone();
+                    (command.effect)(&mut next);
+                    let encoded = self.encode(&next).map_err(|_| GclError::OutOfDomain {
+                        command: command.name.clone(),
+                    })?;
+                    builder = builder.edge(state, encoded);
+                } else {
+                    builder = builder.edge(state, state);
+                }
+            }
+            components.push(builder.build()?);
+        }
+        let fair = FairComposition::new(components).map_err(GclError::System)?;
+        Ok((fair, compiled))
+    }
+}
+
+/// The result of compiling a [`Program`]: the system plus enough metadata
+/// to decode states back into variable valuations.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    system: FiniteSystem,
+    var_info: Vec<(String, usize)>,
+}
+
+impl CompiledProgram {
+    /// The compiled transition system.
+    pub fn system(&self) -> &FiniteSystem {
+        &self.system
+    }
+
+    /// Decodes a state index into a valuation (declaration order).
+    pub fn decode(&self, mut state: usize) -> Vec<usize> {
+        let mut values = Vec::with_capacity(self.var_info.len());
+        for (_, domain) in &self.var_info {
+            values.push(state % domain);
+            state /= domain;
+        }
+        values
+    }
+
+    /// Variable names in declaration order.
+    pub fn var_names(&self) -> Vec<&str> {
+        self.var_info
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_program_compiles() {
+        let mut p = Program::new();
+        let x = p.var("x", 4);
+        p.command("inc", move |s| s[x] < 3, move |s| s[x] += 1);
+        let compiled = p.compile(|s| s[x] == 0).unwrap();
+        assert_eq!(compiled.system().num_states(), 4);
+        assert!(compiled.system().has_edge(0, 1));
+        assert!(compiled.system().has_edge(3, 3)); // quiescent
+        assert_eq!(compiled.system().init().len(), 1);
+    }
+
+    #[test]
+    fn two_variable_encoding_round_trips() {
+        let mut p = Program::new();
+        let x = p.var("x", 3);
+        let y = p.var("y", 5);
+        p.command("noop", |_| false, |_| {});
+        let compiled = p.compile(|_| true).unwrap();
+        assert_eq!(compiled.system().num_states(), 15);
+        for state in 0..15 {
+            let vals = compiled.decode(state);
+            assert!(vals[x.0] < 3 && vals[y.0] < 5);
+        }
+        assert_eq!(compiled.var_names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn nondeterminism_creates_branches() {
+        let mut p = Program::new();
+        let x = p.var("x", 3);
+        p.command("up", move |s| s[x] == 0, move |s| s[x] = 1);
+        p.command("over", move |s| s[x] == 0, move |s| s[x] = 2);
+        let compiled = p.compile(|s| s[x] == 0).unwrap();
+        assert!(compiled.system().has_edge(0, 1));
+        assert!(compiled.system().has_edge(0, 2));
+    }
+
+    #[test]
+    fn out_of_domain_effect_is_reported() {
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.command("overflow", |_| true, move |s| s[x] = 7);
+        let err = p.compile(|_| true).unwrap_err();
+        assert_eq!(
+            err,
+            GclError::OutOfDomain {
+                command: "overflow".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_domain_is_reported() {
+        let mut p = Program::new();
+        p.var("x", 0);
+        p.command("noop", |_| false, |_| {});
+        assert!(matches!(
+            p.compile(|_| true).unwrap_err(),
+            GclError::EmptyDomain { .. }
+        ));
+    }
+
+    #[test]
+    fn no_initial_state_is_reported() {
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.command("noop", |_| false, |_| {});
+        let err = p.compile(move |s| s[x] > 5).unwrap_err();
+        assert_eq!(err, GclError::NoInitialState);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let mut p = Program::new();
+        p.var("x", 100);
+        p.var("y", 100);
+        p.command("noop", |_| false, |_| {});
+        p.max_states(50);
+        assert!(matches!(
+            p.compile(|_| true).unwrap_err(),
+            GclError::TooManyStates {
+                actual: 10000,
+                max: 50
+            }
+        ));
+    }
+
+    #[test]
+    fn fair_compilation_has_one_component_per_command() {
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.command("flip", move |s| s[x] == 0, move |s| s[x] = 1);
+        p.command("flop", move |s| s[x] == 1, move |s| s[x] = 0);
+        let (fair, compiled) = p.compile_fair(|s| s[x] == 0).unwrap();
+        assert_eq!(fair.components().len(), 2);
+        // Disabled commands skip: "flip" at state 1 self-loops.
+        assert!(fair.components()[0].has_edge(1, 1));
+        assert!(fair.components()[0].has_edge(0, 1));
+        // Every effective edge of the plain compilation appears in the fair
+        // union (which additionally has disabled-command skips).
+        assert!(compiled.system().edges().is_subset(fair.union().edges()));
+    }
+
+    #[test]
+    fn fair_union_may_add_skips_at_quiescent_states() {
+        // With a single command disabled somewhere, fair components add a
+        // skip edge that the pure compilation also adds (quiescence).
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.command("once", move |s| s[x] == 0, move |s| s[x] = 1);
+        let (fair, compiled) = p.compile_fair(|_| true).unwrap();
+        assert!(fair.union().has_edge(1, 1));
+        assert!(compiled.system().has_edge(1, 1));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = GclError::TooManyStates { actual: 10, max: 5 };
+        assert!(err.to_string().contains("10"));
+        let err = GclError::NoInitialState;
+        assert!(!err.to_string().is_empty());
+    }
+}

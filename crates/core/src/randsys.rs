@@ -1,0 +1,151 @@
+//! Seeded random system generators for property-based testing.
+//!
+//! The theorem checkers in [`crate::theorems`] and [`crate::fairness`] are
+//! universally quantified statements; these generators let the test suite
+//! instantiate them on thousands of random systems. Everything is driven by
+//! a caller-supplied [`rand::Rng`], so failures are reproducible from the
+//! seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{FiniteSystem, SystemBuilder};
+
+/// Generates a random total system over `num_states` states.
+///
+/// Each state receives between 1 and `max_out` outgoing edges (uniformly
+/// chosen targets) and each state is initial with probability `init_prob`;
+/// at least one initial state is guaranteed.
+pub fn random_system<R: Rng>(
+    rng: &mut R,
+    num_states: usize,
+    max_out: usize,
+    init_prob: f64,
+) -> FiniteSystem {
+    assert!(num_states > 0, "need at least one state");
+    assert!(max_out > 0, "need at least one outgoing edge per state");
+    let mut builder = FiniteSystem::builder(num_states);
+    let mut any_init = false;
+    for state in 0..num_states {
+        if rng.gen_bool(init_prob) {
+            builder = builder.initial(state);
+            any_init = true;
+        }
+        let out = rng.gen_range(1..=max_out);
+        for _ in 0..out {
+            builder = builder.edge(state, rng.gen_range(0..num_states));
+        }
+    }
+    if !any_init {
+        builder = builder.initial(rng.gen_range(0..num_states));
+    }
+    builder
+        .build()
+        .expect("generated system is total by construction")
+}
+
+/// Generates a random *everywhere implementation* of `spec`: a total
+/// sub-relation of `spec`'s edges, with an initial-state subset.
+///
+/// By construction `everywhere_implements(&sub, &spec)` holds, and
+/// `implements_from_init(&sub, &spec)` holds as well (initial states are a
+/// subset).
+pub fn random_subsystem<R: Rng>(rng: &mut R, spec: &FiniteSystem) -> FiniteSystem {
+    let mut builder = FiniteSystem::builder(spec.num_states());
+    builder = keep_total_subset(rng, spec, builder);
+    let inits: Vec<usize> = spec.init().iter().copied().collect();
+    let mut any = false;
+    for &init in &inits {
+        if rng.gen_bool(0.7) {
+            builder = builder.initial(init);
+            any = true;
+        }
+    }
+    if !any {
+        if let Some(&init) = inits.choose(rng) {
+            builder = builder.initial(init);
+        }
+    }
+    builder
+        .build()
+        .expect("subsystem keeps at least one edge per state")
+}
+
+fn keep_total_subset<R: Rng>(
+    rng: &mut R,
+    spec: &FiniteSystem,
+    mut builder: SystemBuilder,
+) -> SystemBuilder {
+    for state in 0..spec.num_states() {
+        let succ: Vec<usize> = spec.successors(state).collect();
+        debug_assert!(!succ.is_empty(), "spec is total");
+        let keep = rng.gen_range(1..=succ.len());
+        let mut chosen = succ.clone();
+        chosen.shuffle(rng);
+        for &to in chosen.iter().take(keep) {
+            builder = builder.edge(state, to);
+        }
+    }
+    builder
+}
+
+/// Generates a wrapper pair `(W, W')` over `num_states` states with
+/// `[W' ⇒ W]` by construction: `W` is random and `W'` is a total
+/// sub-relation of it.
+pub fn random_wrapper_pair<R: Rng>(
+    rng: &mut R,
+    num_states: usize,
+    max_out: usize,
+) -> (FiniteSystem, FiniteSystem) {
+    let w = random_system(rng, num_states, max_out, 0.8);
+    let w_prime = random_subsystem(rng, &w);
+    (w, w_prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{everywhere_implements, implements_from_init};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_system_is_well_formed() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let sys = random_system(&mut rng, 12, 3, 0.3);
+            assert_eq!(sys.num_states(), 12);
+            assert!(!sys.init().is_empty());
+            for state in 0..12 {
+                assert!(sys.successors(state).next().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn random_subsystem_everywhere_implements_its_spec() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let spec = random_system(&mut rng, 10, 4, 0.5);
+            let sub = random_subsystem(&mut rng, &spec);
+            assert!(everywhere_implements(&sub, &spec));
+            assert!(implements_from_init(&sub, &spec));
+        }
+    }
+
+    #[test]
+    fn random_wrapper_pair_refines() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let (w, w_prime) = random_wrapper_pair(&mut rng, 8, 3);
+            assert!(everywhere_implements(&w_prime, &w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_system(&mut SmallRng::seed_from_u64(5), 9, 3, 0.4);
+        let b = random_system(&mut SmallRng::seed_from_u64(5), 9, 3, 0.4);
+        assert_eq!(a, b);
+    }
+}

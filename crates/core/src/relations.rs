@@ -1,0 +1,269 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::FiniteSystem;
+
+/// The paper's `[C ⇒ A]_init`: every computation of `C` that starts from an
+/// initial state of `C` is a computation of `A` starting from an initial
+/// state of `A`.
+///
+/// For path-set systems this holds exactly when `C`'s initial states are
+/// initial in `A` and every edge on the init-reachable part of `C` is an
+/// edge of `A`.
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::{implements_from_init, FiniteSystem};
+///
+/// let a = FiniteSystem::builder(2).initial(0).edges([(0, 1), (1, 1), (1, 0)]).build()?;
+/// let c = FiniteSystem::builder(2).initial(0).edges([(0, 1), (1, 1)]).build()?;
+/// assert!(implements_from_init(&c, &a));
+/// assert!(!implements_from_init(&a, &c)); // A allows (1,0), C does not
+/// # Ok::<(), graybox_core::SystemError>(())
+/// ```
+pub fn implements_from_init(c: &FiniteSystem, a: &FiniteSystem) -> bool {
+    if c.num_states() != a.num_states() || !c.init().is_subset(a.init()) {
+        return false;
+    }
+    let reachable = c.reachable_from_init();
+    c.edges()
+        .iter()
+        .filter(|(from, _)| reachable.contains(from))
+        .all(|&(from, to)| a.has_edge(from, to))
+}
+
+/// The paper's `[C ⇒ A]`: every computation of `C` — from *any* state — is
+/// a computation of `A`. For path-set systems this is edge-set inclusion.
+///
+/// Note the definition quantifies over all computations, not just
+/// init-anchored ones, so initial states are irrelevant here; this is what
+/// makes the relation composable under box (Lemma 0).
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::{everywhere_implements, FiniteSystem};
+///
+/// let a = FiniteSystem::builder(2).initial(0).edges([(0, 1), (1, 0), (1, 1)]).build()?;
+/// let c = FiniteSystem::builder(2).initial(0).edges([(0, 1), (1, 0)]).build()?;
+/// assert!(everywhere_implements(&c, &a));
+/// # Ok::<(), graybox_core::SystemError>(())
+/// ```
+pub fn everywhere_implements(c: &FiniteSystem, a: &FiniteSystem) -> bool {
+    c.num_states() == a.num_states() && c.edges().is_subset(a.edges())
+}
+
+/// Outcome of a stabilization check, with a counterexample when it fails.
+///
+/// Produced by [`is_stabilizing_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilizationReport {
+    /// A transition of `C` that lies on a cycle of `C` but is not a
+    /// legitimate transition of `A` (outside `A`'s init-reachable
+    /// subgraph). `None` when the system stabilizes.
+    pub divergent_edge: Option<(usize, usize)>,
+    /// The states of `A` reachable from `A`'s initial states — the
+    /// "legitimate" states every computation must eventually confine
+    /// itself to.
+    pub legitimate_states: BTreeSet<usize>,
+}
+
+impl StabilizationReport {
+    /// True when the checked system is stabilizing to the specification.
+    pub fn holds(&self) -> bool {
+        self.divergent_edge.is_none()
+    }
+}
+
+impl fmt::Display for StabilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.divergent_edge {
+            None => write!(f, "stabilizing"),
+            Some((from, to)) => write!(
+                f,
+                "not stabilizing: edge ({from}, {to}) recurs outside the legitimate subgraph"
+            ),
+        }
+    }
+}
+
+/// The paper's "`C` is stabilizing to `A`": every computation of `C` has a
+/// suffix that is a suffix of some computation of `A` that starts at an
+/// initial state of `A`.
+///
+/// For path-set systems: let `L` be the states of `A` reachable from
+/// `A.init` ("legitimate" states) and call an edge of `C` *divergent* when
+/// it is not an `A`-edge between legitimate states. An infinite computation
+/// of `C` fails to stabilize exactly when it takes divergent edges forever,
+/// which is possible iff some divergent edge lies on a cycle of `C`. So the
+/// check is: **no divergent edge of `C` is on a cycle of `C`**.
+///
+/// This also covers the degenerate requirement that the converged suffix be
+/// a *suffix of an init-anchored* computation of `A` (not merely any
+/// `A`-path): once a computation only takes `A`-edges between states in
+/// `L`, prefixing the `A`-path that reaches `L` yields an init-anchored
+/// computation of `A`, and fusion closure splices them.
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::{is_stabilizing_to, FiniteSystem};
+///
+/// // Spec: alternate 0,1 forever. Impl: same, but from illegitimate state 2
+/// // it falls back into state 0 — a convergence step.
+/// let a = FiniteSystem::builder(3).initial(0).edges([(0, 1), (1, 0), (2, 2)]).build()?;
+/// let c = FiniteSystem::builder(3).initial(0).edges([(0, 1), (1, 0), (2, 0)]).build()?;
+/// assert!(is_stabilizing_to(&c, &a).holds());
+/// assert!(!is_stabilizing_to(&a, &a).holds()); // A itself loops at 2 forever
+/// # Ok::<(), graybox_core::SystemError>(())
+/// ```
+pub fn is_stabilizing_to(c: &FiniteSystem, a: &FiniteSystem) -> StabilizationReport {
+    let legitimate = a.reachable_from_init();
+    if c.num_states() != a.num_states() {
+        return StabilizationReport {
+            divergent_edge: c.edges().iter().next().copied(),
+            legitimate_states: legitimate,
+        };
+    }
+    let divergent = |from: usize, to: usize| {
+        !(a.has_edge(from, to) && legitimate.contains(&from) && legitimate.contains(&to))
+    };
+    for &(from, to) in c.edges() {
+        if divergent(from, to) {
+            // The edge recurs forever iff it is on a cycle of C, i.e. C has
+            // a path from `to` back to `from` (or it is a self-loop).
+            if from == to || c.has_path(to, from) {
+                return StabilizationReport {
+                    divergent_edge: Some((from, to)),
+                    legitimate_states: legitimate,
+                };
+            }
+        }
+    }
+    StabilizationReport {
+        divergent_edge: None,
+        legitimate_states: legitimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::box_compose;
+
+    fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
+        FiniteSystem::builder(n)
+            .initials(init.iter().copied())
+            .edges(edges.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn implements_from_init_ignores_unreachable_extra_edges() {
+        let a = sys(3, &[0], &[(0, 1), (1, 0), (2, 2)]);
+        // C has an extra edge (2,0) but state 2 is unreachable from init.
+        let c = sys(3, &[0], &[(0, 1), (1, 0), (2, 0), (2, 2)]);
+        assert!(implements_from_init(&c, &a));
+        assert!(!everywhere_implements(&c, &a));
+    }
+
+    #[test]
+    fn implements_from_init_requires_init_inclusion() {
+        let a = sys(2, &[0], &[(0, 0), (1, 1)]);
+        let c = sys(2, &[1], &[(1, 1), (0, 0)]);
+        assert!(!implements_from_init(&c, &a));
+    }
+
+    #[test]
+    fn everywhere_implies_from_init_when_inits_included() {
+        let a = sys(2, &[0, 1], &[(0, 1), (1, 0), (0, 0), (1, 1)]);
+        let c = sys(2, &[0], &[(0, 1), (1, 0)]);
+        assert!(everywhere_implements(&c, &a));
+        assert!(implements_from_init(&c, &a));
+    }
+
+    #[test]
+    fn everywhere_implements_is_reflexive_and_transitive() {
+        let a = sys(2, &[0], &[(0, 1), (1, 0), (1, 1)]);
+        let b = sys(2, &[0], &[(0, 1), (1, 0)]);
+        let c = sys(2, &[0], &[(0, 1), (1, 1), (1, 0)]);
+        assert!(everywhere_implements(&a, &a));
+        assert!(everywhere_implements(&b, &a));
+        assert!(everywhere_implements(&b, &c) && everywhere_implements(&c, &a));
+        assert!(everywhere_implements(&b, &a));
+    }
+
+    #[test]
+    fn stabilization_accepts_convergent_impl() {
+        let a = sys(3, &[0], &[(0, 1), (1, 0), (2, 2)]);
+        let c = sys(3, &[0], &[(0, 1), (1, 0), (2, 0)]);
+        let report = is_stabilizing_to(&c, &a);
+        assert!(report.holds());
+        assert_eq!(report.legitimate_states, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn stabilization_rejects_divergent_cycle() {
+        let a = sys(3, &[0], &[(0, 1), (1, 0), (2, 2)]);
+        // From state 2 the impl loops 2 -> 2 forever: never converges.
+        let c = sys(3, &[0], &[(0, 1), (1, 0), (2, 2)]);
+        let report = is_stabilizing_to(&c, &a);
+        assert_eq!(report.divergent_edge, Some((2, 2)));
+        assert!(!report.holds());
+        assert!(report.to_string().contains("not stabilizing"));
+    }
+
+    #[test]
+    fn stabilization_rejects_two_state_divergent_cycle() {
+        let a = sys(4, &[0], &[(0, 1), (1, 0), (2, 2), (3, 3)]);
+        let c = sys(4, &[0], &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let report = is_stabilizing_to(&c, &a);
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn stabilization_requires_legitimate_states_not_just_a_edges() {
+        // (2,3),(3,2) are edges of A, but 2 and 3 are unreachable from
+        // A.init, so looping there is not "a suffix of a computation of A
+        // that starts at an initial state of A".
+        let a = sys(4, &[0], &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let c = sys(4, &[0], &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let report = is_stabilizing_to(&c, &a);
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn stabilizing_is_implied_by_everywhere_implement_of_self_stabilizing_spec() {
+        // §2.1: [C ⇒ A] and A stabilizing to A implies C stabilizing to A.
+        let a = sys(3, &[0], &[(0, 1), (1, 0), (2, 0), (2, 1)]);
+        assert!(is_stabilizing_to(&a, &a).holds());
+        let c = sys(3, &[0], &[(0, 1), (1, 0), (2, 1)]);
+        assert!(everywhere_implements(&c, &a));
+        assert!(is_stabilizing_to(&c, &a).holds());
+    }
+
+    #[test]
+    fn lemma0_on_a_concrete_instance() {
+        // Lemma 0: [C ⇒ A] ∧ [W' ⇒ W] ⇒ [(C ⊓ W') ⇒ (A ⊓ W)].
+        let a = sys(3, &[0], &[(0, 1), (1, 0), (2, 0), (2, 2)]);
+        let c = sys(3, &[0], &[(0, 1), (1, 0), (2, 2)]);
+        let w = sys(3, &[0, 2], &[(2, 0), (0, 0), (1, 1), (2, 2)]);
+        let w_prime = sys(3, &[0], &[(2, 0), (0, 0), (1, 1)]);
+        assert!(everywhere_implements(&c, &a));
+        assert!(everywhere_implements(&w_prime, &w));
+        let cw = box_compose(&c, &w_prime).unwrap();
+        let aw = box_compose(&a, &w).unwrap();
+        assert!(everywhere_implements(&cw, &aw));
+    }
+
+    #[test]
+    fn mismatched_state_spaces_never_relate() {
+        let a = sys(2, &[0], &[(0, 0), (1, 1)]);
+        let c = sys(3, &[0], &[(0, 0), (1, 1), (2, 2)]);
+        assert!(!implements_from_init(&c, &a));
+        assert!(!everywhere_implements(&c, &a));
+        assert!(!is_stabilizing_to(&c, &a).holds());
+    }
+}

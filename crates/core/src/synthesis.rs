@@ -1,0 +1,214 @@
+//! Automatic synthesis of graybox stabilization wrappers.
+//!
+//! The paper's last sentence: *"Another direction we are pursuing is
+//! automatic synthesis of graybox dependability."* This module implements
+//! the base case for finite specifications: given a spec `A`, synthesize a
+//! wrapper `W` — from `A` alone, never from an implementation — such that
+//! the weakly fair composition `A ⊓ W` is stabilizing to (the stuttering
+//! closure of) `A`. By the fair Theorem 1, the same `W` then stabilizes
+//! every everywhere-implementation of `A`.
+//!
+//! The synthesized wrapper is the **reset wrapper**: from every
+//! illegitimate state, jump to a recovery target; at legitimate states,
+//! skip. Its correctness is a small theorem checked in the tests (and on
+//! random instances in experiment T8):
+//!
+//! *Proof sketch.* Legitimate states are closed under `A` (they are
+//! `A`'s init-reachable set), so no SCC of `A ∪ W` mixes legitimate and
+//! illegitimate states — `W`'s cross edges always exit the illegitimate
+//! region and never return. An SCC inside the illegitimate region contains
+//! no `W` edge (they all leave), so no *fair* computation stays there. An
+//! SCC inside the legitimate region consists of `A`-edges and `W`-skips,
+//! all of which are edges of the stuttering closure of `A`. Hence no fair
+//! computation diverges. ∎
+//!
+//! Stuttering closure matters: the fair execution model lets a disabled
+//! wrapper skip, so the convergence *target* must admit self-loops at
+//! legitimate states (compare [`crate::dijkstra`], which makes the same
+//! move for the token ring).
+
+use crate::{FiniteSystem, SystemError};
+
+/// Adds a self-loop at every init-reachable ("legitimate") state of `a`.
+///
+/// The closure is behaviour-preserving for specification purposes: a
+/// stutter step changes no observable state.
+pub fn stutter_closure(a: &FiniteSystem) -> FiniteSystem {
+    let legitimate = a.reachable_from_init();
+    FiniteSystem::builder(a.num_states())
+        .initials(a.init().iter().copied())
+        .edges(a.edges().iter().copied())
+        .edges(legitimate.iter().map(|&s| (s, s)))
+        .build()
+        .expect("adding self-loops preserves totality")
+}
+
+/// Synthesizes the reset wrapper for `a`: every illegitimate state gets a
+/// single recovery edge to a canonical legitimate state (the smallest
+/// initial state); legitimate states skip.
+///
+/// # Panics
+///
+/// Panics if `a` has no initial state (no recovery target exists).
+pub fn synthesize_reset_wrapper(a: &FiniteSystem) -> FiniteSystem {
+    let target = *a
+        .init()
+        .iter()
+        .next()
+        .expect("spec must have an initial state to recover to");
+    let legitimate = a.reachable_from_init();
+    let mut builder = FiniteSystem::builder(a.num_states());
+    for state in 0..a.num_states() {
+        builder = builder.initial(state); // the wrapper starts anywhere
+        if legitimate.contains(&state) {
+            builder = builder.edge(state, state);
+        } else {
+            builder = builder.edge(state, target);
+        }
+    }
+    builder.build().expect("one edge per state")
+}
+
+/// Synthesizes a *guided* wrapper: every illegitimate state prefers a
+/// **spec edge that lands directly in the legitimate region**, and only
+/// falls back to the reset target when the spec offers none. Gentler than
+/// the pure reset wrapper when the spec's own edges reach back.
+///
+/// The one-step-exit restriction is what keeps the synthesis theorem
+/// intact: a wrapper edge between two *illegitimate* states could be
+/// undone by adversarially scheduled spec edges (the illegitimate SCC
+/// would then contain a wrapper edge, admitting a fair divergent
+/// computation), so every wrapper edge must leave the illegitimate region
+/// immediately.
+pub fn synthesize_guided_wrapper(a: &FiniteSystem) -> FiniteSystem {
+    let legitimate = a.reachable_from_init();
+    let target = *a
+        .init()
+        .iter()
+        .next()
+        .expect("spec must have an initial state to recover to");
+    let mut builder = FiniteSystem::builder(a.num_states());
+    for state in 0..a.num_states() {
+        builder = builder.initial(state);
+        if legitimate.contains(&state) {
+            builder = builder.edge(state, state);
+        } else {
+            let step = a.successors(state).find(|next| legitimate.contains(next));
+            builder = builder.edge(state, step.unwrap_or(target));
+        }
+    }
+    builder.build().expect("one edge per state")
+}
+
+/// Verifies a synthesized wrapper: the weakly fair composition `a ⊓ w`
+/// must be stabilizing to the stuttering closure of `a`.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the systems do not share a state space.
+pub fn verify_wrapper(a: &FiniteSystem, w: &FiniteSystem) -> Result<bool, SystemError> {
+    let closed = stutter_closure(a);
+    let fair = crate::fairness::FairComposition::new(vec![a.clone(), w.clone()])?;
+    Ok(fair.is_stabilizing_to(&closed).holds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::check_fair_theorem1;
+    use crate::randsys::{random_subsystem, random_system};
+    use crate::{figure1, is_stabilizing_to};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reset_wrapper_fixes_figure1_c() {
+        // The paper's counterexample C is not an everywhere implementation
+        // of A, but the synthesized wrapper still stabilizes *A itself* —
+        // and C when composed fairly, because C's divergent state gets a
+        // recovery edge.
+        let (a, c) = figure1::systems();
+        let w = synthesize_reset_wrapper(&a);
+        assert!(verify_wrapper(&a, &w).unwrap());
+        // And indeed C ⊓ W (fairly) stabilizes even though C alone does not:
+        assert!(!is_stabilizing_to(&c, &a).holds());
+        let fair = crate::fairness::FairComposition::new(vec![c, w]).unwrap();
+        assert!(fair.is_stabilizing_to(&stutter_closure(&a)).holds());
+    }
+
+    #[test]
+    fn reset_wrapper_verifies_on_random_specs() {
+        for seed in 0..300u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a = random_system(&mut rng, 12, 3, 0.3);
+            let w = synthesize_reset_wrapper(&a);
+            assert!(verify_wrapper(&a, &w).unwrap(), "seed {seed} failed");
+        }
+    }
+
+    #[test]
+    fn guided_wrapper_verifies_on_random_specs() {
+        for seed in 0..300u64 {
+            let mut rng = SmallRng::seed_from_u64(7_000 + seed);
+            let a = random_system(&mut rng, 12, 3, 0.3);
+            let w = synthesize_guided_wrapper(&a);
+            assert!(verify_wrapper(&a, &w).unwrap(), "seed {seed} failed");
+        }
+    }
+
+    #[test]
+    fn synthesized_wrapper_transfers_to_implementations_by_fair_theorem1() {
+        let mut exercised = 0;
+        for seed in 0..300u64 {
+            let mut rng = SmallRng::seed_from_u64(3_000 + seed);
+            let a = random_system(&mut rng, 10, 3, 0.4);
+            let a_closed = stutter_closure(&a);
+            let c = random_subsystem(&mut rng, &a_closed);
+            let w = synthesize_reset_wrapper(&a);
+            let out = check_fair_theorem1(&c, &a_closed, &w, &w).unwrap();
+            assert!(out.validated(), "seed {seed}");
+            exercised += usize::from(out.exercised());
+        }
+        // The premise (A ⊓ W stabilizing) holds by the synthesis theorem,
+        // so virtually every instance is exercised.
+        assert!(exercised > 250, "only {exercised} exercised");
+    }
+
+    #[test]
+    fn guided_wrapper_prefers_direct_spec_exits() {
+        // Spec: legit {0}; state 1 has a spec edge into the legit region,
+        // state 2 only reaches legit through 1 — too indirect, so the
+        // guided wrapper resets it.
+        let a = FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(0, 0), (1, 0), (2, 1)])
+            .build()
+            .unwrap();
+        let w = synthesize_guided_wrapper(&a);
+        assert!(w.has_edge(1, 0), "follows the spec's own exit edge");
+        assert!(w.has_edge(2, 0), "no one-step exit: falls back to reset");
+        let reset = synthesize_reset_wrapper(&a);
+        assert!(reset.has_edge(2, 0));
+    }
+
+    #[test]
+    fn stutter_closure_only_touches_legitimate_states() {
+        let a = FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(0, 1), (1, 0), (2, 2)])
+            .build()
+            .unwrap();
+        let closed = stutter_closure(&a);
+        assert!(closed.has_edge(0, 0));
+        assert!(closed.has_edge(1, 1));
+        assert!(closed.has_edge(2, 2)); // was already there
+        assert_eq!(closed.init(), a.init());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state")]
+    fn synthesis_requires_an_initial_state() {
+        let a = FiniteSystem::builder(1).edge(0, 0).build().unwrap();
+        let _ = synthesize_reset_wrapper(&a);
+    }
+}

@@ -1,0 +1,394 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error raised when a [`SystemBuilder`] describes something that is not a
+/// system in the paper's sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// A state has no outgoing transition, violating "a set of sequences
+    /// with at least one sequence starting from every state".
+    NotTotal {
+        /// The state with no successor.
+        state: usize,
+    },
+    /// An edge or initial state refers to a state outside `0..num_states`.
+    StateOutOfRange {
+        /// The offending state index.
+        state: usize,
+        /// Number of states in the space.
+        num_states: usize,
+    },
+    /// The system has no states at all.
+    EmptyStateSpace,
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NotTotal { state } => {
+                write!(f, "state {state} has no outgoing transition")
+            }
+            SystemError::StateOutOfRange { state, num_states } => {
+                write!(f, "state {state} out of range for {num_states} states")
+            }
+            SystemError::EmptyStateSpace => write!(f, "state space is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A system in the paper's sense, over a finite state space.
+///
+/// Per §2, a system is a fusion-closed set of state sequences with at least
+/// one computation from every state, plus a set of initial states. Over a
+/// finite state space `0..num_states`, such a set of sequences is exactly
+/// the set of paths of a directed graph whose transition relation is
+/// *total* (every state has a successor). `FiniteSystem` stores that graph.
+///
+/// Specifications (abstract systems) and implementations (concrete systems)
+/// are both values of this one type, as in the paper.
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::FiniteSystem;
+///
+/// // A two-state flip-flop, starting at state 0.
+/// let sys = FiniteSystem::builder(2)
+///     .initial(0)
+///     .edge(0, 1)
+///     .edge(1, 0)
+///     .build()?;
+/// assert!(sys.has_edge(0, 1));
+/// assert_eq!(sys.reachable_from_init(), [0, 1].into_iter().collect());
+/// # Ok::<(), graybox_core::SystemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteSystem {
+    num_states: usize,
+    init: BTreeSet<usize>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl FiniteSystem {
+    /// Starts building a system over states `0..num_states`.
+    pub fn builder(num_states: usize) -> SystemBuilder {
+        SystemBuilder {
+            num_states,
+            init: BTreeSet::new(),
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of states in the state space Σ.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The set of initial states.
+    pub fn init(&self) -> &BTreeSet<usize> {
+        &self.init
+    }
+
+    /// The transition relation, as a sorted edge set.
+    pub fn edges(&self) -> &BTreeSet<(usize, usize)> {
+        &self.edges
+    }
+
+    /// True when `(from, to)` is a transition of this system.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// Successors of `state`.
+    pub fn successors(&self, state: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .range((state, 0)..=(state, usize::MAX))
+            .map(|&(_, to)| to)
+    }
+
+    /// States reachable from the given seed set by following transitions
+    /// (the seeds themselves included).
+    pub fn reachable_from(&self, seeds: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = seeds.into_iter().collect();
+        let mut frontier: Vec<usize> = seen.iter().copied().collect();
+        while let Some(state) = frontier.pop() {
+            for next in self.successors(state) {
+                if seen.insert(next) {
+                    frontier.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States on computations that start from an initial state.
+    pub fn reachable_from_init(&self) -> BTreeSet<usize> {
+        self.reachable_from(self.init.iter().copied())
+    }
+
+    /// True when there is a path (of length ≥ 1) from `from` to `to`.
+    pub fn has_path(&self, from: usize, to: usize) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![from];
+        while let Some(state) = frontier.pop() {
+            for next in self.successors(state) {
+                if next == to {
+                    return true;
+                }
+                if seen.insert(next) {
+                    frontier.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Enumerates all computations of length `len` starting from `from`
+    /// (finite prefixes of the system's computations). Useful for
+    /// cross-checking the graph-based relations against the paper's
+    /// sequence-based definitions in tests.
+    pub fn computations_from(&self, from: usize, len: usize) -> Vec<Vec<usize>> {
+        let mut result = Vec::new();
+        let mut stack = vec![vec![from]];
+        while let Some(path) = stack.pop() {
+            if path.len() == len {
+                result.push(path);
+                continue;
+            }
+            let last = *path.last().expect("paths are nonempty");
+            for next in self.successors(last) {
+                let mut extended = path.clone();
+                extended.push(next);
+                stack.push(extended);
+            }
+        }
+        result
+    }
+}
+
+impl fmt::Display for FiniteSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "system({} states, init {:?}, {} edges)",
+            self.num_states,
+            self.init,
+            self.edges.len()
+        )
+    }
+}
+
+/// Incremental constructor for [`FiniteSystem`]; validates the paper's
+/// totality requirement at [`build`](SystemBuilder::build) time.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    num_states: usize,
+    init: BTreeSet<usize>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl SystemBuilder {
+    /// Marks `state` as initial.
+    pub fn initial(mut self, state: usize) -> Self {
+        self.init.insert(state);
+        self
+    }
+
+    /// Marks several states as initial.
+    pub fn initials(mut self, states: impl IntoIterator<Item = usize>) -> Self {
+        self.init.extend(states);
+        self
+    }
+
+    /// Adds the transition `(from, to)`.
+    pub fn edge(mut self, from: usize, to: usize) -> Self {
+        self.edges.insert((from, to));
+        self
+    }
+
+    /// Adds several transitions.
+    pub fn edges(mut self, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Adds a self-loop on every state that currently has no successor,
+    /// modelling quiescence while preserving totality.
+    pub fn stutter_quiescent(mut self) -> Self {
+        let with_out: BTreeSet<usize> = self.edges.iter().map(|&(from, _)| from).collect();
+        for state in 0..self.num_states {
+            if !with_out.contains(&state) {
+                self.edges.insert((state, state));
+            }
+        }
+        self
+    }
+
+    /// Validates and produces the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::EmptyStateSpace`] for zero states,
+    /// [`SystemError::StateOutOfRange`] if an edge or initial state is out
+    /// of range, and [`SystemError::NotTotal`] if some state has no
+    /// outgoing transition.
+    pub fn build(self) -> Result<FiniteSystem, SystemError> {
+        if self.num_states == 0 {
+            return Err(SystemError::EmptyStateSpace);
+        }
+        let check = |state: usize| -> Result<(), SystemError> {
+            if state >= self.num_states {
+                Err(SystemError::StateOutOfRange {
+                    state,
+                    num_states: self.num_states,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for &state in &self.init {
+            check(state)?;
+        }
+        let mut has_out = vec![false; self.num_states];
+        for &(from, to) in &self.edges {
+            check(from)?;
+            check(to)?;
+            has_out[from] = true;
+        }
+        if let Some(state) = has_out.iter().position(|&ok| !ok) {
+            return Err(SystemError::NotTotal { state });
+        }
+        Ok(FiniteSystem {
+            num_states: self.num_states,
+            init: self.init,
+            edges: self.edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring3() -> FiniteSystem {
+        FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_space() {
+        assert_eq!(
+            FiniteSystem::builder(0).build().unwrap_err(),
+            SystemError::EmptyStateSpace
+        );
+    }
+
+    #[test]
+    fn builder_rejects_partial_relation() {
+        let err = FiniteSystem::builder(2).edge(0, 1).build().unwrap_err();
+        assert_eq!(err, SystemError::NotTotal { state: 1 });
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_edge() {
+        let err = FiniteSystem::builder(2)
+            .edges([(0, 5), (1, 0)])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SystemError::StateOutOfRange {
+                state: 5,
+                num_states: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_initial() {
+        let err = FiniteSystem::builder(1)
+            .initial(3)
+            .edge(0, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SystemError::StateOutOfRange { state: 3, .. }));
+    }
+
+    #[test]
+    fn stutter_quiescent_restores_totality() {
+        let sys = FiniteSystem::builder(3)
+            .initial(0)
+            .edge(0, 1)
+            .stutter_quiescent()
+            .build()
+            .unwrap();
+        assert!(sys.has_edge(1, 1));
+        assert!(sys.has_edge(2, 2));
+        assert!(!sys.has_edge(0, 0));
+    }
+
+    #[test]
+    fn successors_are_exact() {
+        let sys = FiniteSystem::builder(2)
+            .initial(0)
+            .edges([(0, 0), (0, 1), (1, 1)])
+            .build()
+            .unwrap();
+        let succ: Vec<_> = sys.successors(0).collect();
+        assert_eq!(succ, vec![0, 1]);
+        let succ1: Vec<_> = sys.successors(1).collect();
+        assert_eq!(succ1, vec![1]);
+    }
+
+    #[test]
+    fn reachability_follows_edges() {
+        let sys = FiniteSystem::builder(4)
+            .initial(0)
+            .edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(sys.reachable_from_init(), BTreeSet::from([0, 1]));
+        assert_eq!(sys.reachable_from([2]), BTreeSet::from([2, 3]));
+    }
+
+    #[test]
+    fn has_path_requires_at_least_one_step() {
+        let sys = ring3();
+        assert!(sys.has_path(0, 0)); // around the ring
+        let line = FiniteSystem::builder(2)
+            .initial(0)
+            .edges([(0, 1), (1, 1)])
+            .build()
+            .unwrap();
+        assert!(!line.has_path(0, 0));
+        assert!(line.has_path(0, 1));
+        assert!(line.has_path(1, 1)); // self-loop
+    }
+
+    #[test]
+    fn computations_enumerate_paths() {
+        let sys = ring3();
+        let comps = sys.computations_from(0, 4);
+        assert_eq!(comps, vec![vec![0, 1, 2, 0]]);
+        let branching = FiniteSystem::builder(2)
+            .initial(0)
+            .edges([(0, 0), (0, 1), (1, 1)])
+            .build()
+            .unwrap();
+        let mut comps = branching.computations_from(0, 3);
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 0, 0], vec![0, 0, 1], vec![0, 1, 1]]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = ring3().to_string();
+        assert!(text.contains("3 states"));
+        assert!(text.contains("3 edges"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Machine-checked instances of the paper's composition theorems.
+//!
+//! The paper proves Lemma 0, Theorem 1 (stabilization via everywhere
+//! specifications), Lemmas 2–3 and Theorem 4 (stabilization via *local*
+//! everywhere specifications) once and for all. This module provides
+//! checkers that validate each statement on concrete finite instances —
+//! used by the test suite on hand-built systems and by property tests on
+//! randomly generated ones (see [`crate::randsys`]).
+//!
+//! Each checker returns a [`TheoremOutcome`] distinguishing "premises
+//! failed" (vacuously true) from "premises and conclusion hold" and
+//! "counterexample to the theorem" (which would indicate a bug in this
+//! library, not in the paper).
+
+use crate::{box_compose, everywhere_implements, is_stabilizing_to, FiniteSystem, SystemError};
+
+/// Result of instantiating a theorem on concrete systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TheoremOutcome {
+    /// Whether all premises held on the instance.
+    pub premises_hold: bool,
+    /// Whether the conclusion held on the instance.
+    pub conclusion_holds: bool,
+}
+
+impl TheoremOutcome {
+    /// The implication itself: premises ⇒ conclusion.
+    pub fn validated(self) -> bool {
+        !self.premises_hold || self.conclusion_holds
+    }
+
+    /// True when the premises held, so the instance genuinely exercised the
+    /// theorem rather than passing vacuously.
+    pub fn exercised(self) -> bool {
+        self.premises_hold
+    }
+}
+
+/// Lemma 0: `[C ⇒ A] ∧ [W' ⇒ W] ⇒ [(C ⊓ W') ⇒ (A ⊓ W)]`.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the four systems do not share a state space.
+pub fn check_lemma0(
+    c: &FiniteSystem,
+    a: &FiniteSystem,
+    w_prime: &FiniteSystem,
+    w: &FiniteSystem,
+) -> Result<TheoremOutcome, SystemError> {
+    let premises_hold = everywhere_implements(c, a) && everywhere_implements(w_prime, w);
+    let cw = box_compose(c, w_prime)?;
+    let aw = box_compose(a, w)?;
+    Ok(TheoremOutcome {
+        premises_hold,
+        conclusion_holds: everywhere_implements(&cw, &aw),
+    })
+}
+
+/// Theorem 1: if `[C ⇒ A]`, `A ⊓ W` is stabilizing to `A`, and `[W' ⇒ W]`,
+/// then `C ⊓ W'` is stabilizing to `A`.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the systems do not share a state space.
+pub fn check_theorem1(
+    c: &FiniteSystem,
+    a: &FiniteSystem,
+    w_prime: &FiniteSystem,
+    w: &FiniteSystem,
+) -> Result<TheoremOutcome, SystemError> {
+    let aw = box_compose(a, w)?;
+    let premises_hold = everywhere_implements(c, a)
+        && everywhere_implements(w_prime, w)
+        && is_stabilizing_to(&aw, a).holds();
+    let cw = box_compose(c, w_prime)?;
+    Ok(TheoremOutcome {
+        premises_hold,
+        conclusion_holds: is_stabilizing_to(&cw, a).holds(),
+    })
+}
+
+/// A family of per-process *local* systems, composed into a global system
+/// over the product state space — the paper's
+/// `A = (⊓ i :: A_i)`, `C = (⊓ i :: C_i)` construction for local
+/// everywhere specifications (§2.1).
+///
+/// Process `i`'s local system is over its own local state space; the lifted
+/// global transition changes only component `i`. Global states are encoded
+/// mixed-radix with component 0 least significant.
+#[derive(Debug, Clone)]
+pub struct LocalFamily {
+    locals: Vec<FiniteSystem>,
+}
+
+impl LocalFamily {
+    /// Wraps per-process local systems into a family.
+    pub fn new(locals: Vec<FiniteSystem>) -> Self {
+        LocalFamily { locals }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// True when the family has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.locals.is_empty()
+    }
+
+    /// The local system of process `i`.
+    pub fn local(&self, i: usize) -> &FiniteSystem {
+        &self.locals[i]
+    }
+
+    /// Size of the global product state space.
+    pub fn global_states(&self) -> usize {
+        self.locals.iter().map(|s| s.num_states()).product()
+    }
+
+    /// Decodes a global state into per-process local states.
+    pub fn decode(&self, mut global: usize) -> Vec<usize> {
+        let mut parts = Vec::with_capacity(self.locals.len());
+        for local in &self.locals {
+            parts.push(global % local.num_states());
+            global /= local.num_states();
+        }
+        parts
+    }
+
+    /// Encodes per-process local states into a global state.
+    pub fn encode(&self, parts: &[usize]) -> usize {
+        let mut global = 0;
+        for (local, &part) in self.locals.iter().zip(parts).rev() {
+            global = global * local.num_states() + part;
+        }
+        global
+    }
+
+    /// Lifts process `i`'s local system to the global space: transitions
+    /// apply `A_i`'s relation to component `i` and leave the rest alone;
+    /// a global state is initial when *component `i`* is initial locally
+    /// (the box of all lifts then intersects these, yielding the product of
+    /// local init sets).
+    pub fn lift(&self, i: usize) -> Result<FiniteSystem, SystemError> {
+        let total = self.global_states();
+        let mut builder = FiniteSystem::builder(total);
+        for global in 0..total {
+            let parts = self.decode(global);
+            if self.locals[i].init().contains(&parts[i]) {
+                builder = builder.initial(global);
+            }
+            for next_local in self.locals[i].successors(parts[i]) {
+                let mut next_parts = parts.clone();
+                next_parts[i] = next_local;
+                builder = builder.edge(global, self.encode(&next_parts));
+            }
+        }
+        builder.build()
+    }
+
+    /// The global composition `⊓ i :: lift(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if any local system is malformed or the
+    /// family is empty.
+    pub fn compose(&self) -> Result<FiniteSystem, SystemError> {
+        if self.locals.is_empty() {
+            return Err(SystemError::EmptyStateSpace);
+        }
+        let mut acc = self.lift(0)?;
+        for i in 1..self.locals.len() {
+            acc = box_compose(&acc, &self.lift(i)?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Lemma 2: `(∀i :: [C_i ⇒ A_i]) ⇒ [C ⇒ A]` for `C = ⊓ᵢ Cᵢ`, `A = ⊓ᵢ Aᵢ`.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the families are malformed or of different
+/// shapes.
+pub fn check_lemma2(
+    c_family: &LocalFamily,
+    a_family: &LocalFamily,
+) -> Result<TheoremOutcome, SystemError> {
+    let premises_hold = c_family.len() == a_family.len()
+        && (0..c_family.len()).all(|i| everywhere_implements(c_family.local(i), a_family.local(i)));
+    let c = c_family.compose()?;
+    let a = a_family.compose()?;
+    Ok(TheoremOutcome {
+        premises_hold,
+        conclusion_holds: everywhere_implements(&c, &a),
+    })
+}
+
+/// Theorem 4: if `(∀i :: [C_i ⇒ A_i])`, `(∀i :: [W'_i ⇒ W_i])`, and
+/// `A ⊓ W` is stabilizing to `A`, then `C ⊓ W'` is stabilizing to `A`.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the families are malformed or of different
+/// shapes.
+pub fn check_theorem4(
+    c_family: &LocalFamily,
+    a_family: &LocalFamily,
+    w_prime_family: &LocalFamily,
+    w_family: &LocalFamily,
+) -> Result<TheoremOutcome, SystemError> {
+    let shapes_match = c_family.len() == a_family.len()
+        && w_prime_family.len() == w_family.len()
+        && c_family.len() == w_family.len();
+    let local_premises = shapes_match
+        && (0..c_family.len()).all(|i| {
+            everywhere_implements(c_family.local(i), a_family.local(i))
+                && everywhere_implements(w_prime_family.local(i), w_family.local(i))
+        });
+    let a = a_family.compose()?;
+    let w = w_family.compose()?;
+    let aw = box_compose(&a, &w)?;
+    let premises_hold = local_premises && is_stabilizing_to(&aw, &a).holds();
+    let c = c_family.compose()?;
+    let w_prime = w_prime_family.compose()?;
+    let cw = box_compose(&c, &w_prime)?;
+    Ok(TheoremOutcome {
+        premises_hold,
+        conclusion_holds: is_stabilizing_to(&cw, &a).holds(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
+        FiniteSystem::builder(n)
+            .initials(init.iter().copied())
+            .edges(edges.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    /// A 2-state local spec: 0 = consistent, 1 = corrupt, with a recovery
+    /// edge. Note that under the paper's *pure* path semantics (no
+    /// fairness), `A ⊓ W` can only stabilize if `A` has no divergent cycle
+    /// itself — the genuinely interesting wrapper instances live in
+    /// [`crate::fairness`]. These instances exercise the literal theorem
+    /// statements.
+    fn local_spec() -> FiniteSystem {
+        sys(2, &[0], &[(0, 0), (1, 0)])
+    }
+
+    fn local_impl() -> FiniteSystem {
+        sys(2, &[0], &[(0, 0), (1, 0)])
+    }
+
+    fn local_wrapper() -> FiniteSystem {
+        sys(2, &[0, 1], &[(0, 0), (1, 0)])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let family = LocalFamily::new(vec![local_spec(), local_spec(), local_spec()]);
+        for global in 0..family.global_states() {
+            assert_eq!(family.encode(&family.decode(global)), global);
+        }
+        assert_eq!(family.global_states(), 8);
+    }
+
+    #[test]
+    fn lift_changes_only_one_component() {
+        let family = LocalFamily::new(vec![local_spec(), local_spec()]);
+        let lifted = family.lift(0).unwrap();
+        for &(from, to) in lifted.edges() {
+            let (pf, pt) = (family.decode(from), family.decode(to));
+            assert_eq!(pf[1], pt[1], "component 1 must not change in lift(0)");
+        }
+    }
+
+    #[test]
+    fn composed_init_is_product_of_local_inits() {
+        let family = LocalFamily::new(vec![local_spec(), local_spec()]);
+        let composed = family.compose().unwrap();
+        assert_eq!(composed.init().len(), 1);
+        let init = *composed.init().iter().next().unwrap();
+        assert_eq!(family.decode(init), vec![0, 0]);
+    }
+
+    #[test]
+    fn lemma0_holds_on_wrapper_instance() {
+        let a = local_spec();
+        let c = local_impl();
+        let w = local_wrapper();
+        let out = check_lemma0(&c, &a, &w, &w).unwrap();
+        assert!(out.exercised());
+        assert!(out.validated());
+        assert!(out.conclusion_holds);
+    }
+
+    #[test]
+    fn theorem1_holds_on_wrapper_instance() {
+        let a = local_spec();
+        let c = local_impl();
+        let w = local_wrapper();
+        let out = check_theorem1(&c, &a, &w, &w).unwrap();
+        assert!(out.exercised());
+        assert!(out.conclusion_holds);
+    }
+
+    #[test]
+    fn pure_box_cannot_remove_divergent_cycles() {
+        // Documents why the fairness module exists: under pure path
+        // semantics, the box operator only adds computations, so a spec
+        // with a divergent cycle can never be wrapped into stabilization.
+        let a = sys(2, &[0], &[(0, 0), (1, 1)]);
+        let w = sys(2, &[0, 1], &[(0, 0), (1, 0)]);
+        let aw = box_compose(&a, &w).unwrap();
+        assert!(!is_stabilizing_to(&a, &a).holds());
+        assert!(!is_stabilizing_to(&aw, &a).holds());
+    }
+
+    #[test]
+    fn theorem1_is_vacuous_without_everywhere_implementation() {
+        // The Figure 1 C is not an everywhere implementation; the theorem
+        // does not apply (premises fail), so no conclusion is forced.
+        let (a, c) = crate::figure1::systems();
+        let idle = sys(
+            5,
+            &[0, 1, 2, 3, 4],
+            &(0..5).map(|s| (s, s)).collect::<Vec<_>>(),
+        );
+        let out = check_theorem1(&c, &a, &idle, &idle).unwrap();
+        assert!(!out.exercised());
+        assert!(out.validated()); // vacuously
+    }
+
+    #[test]
+    fn lemma2_holds_on_two_process_family() {
+        let a_family = LocalFamily::new(vec![local_spec(), local_spec()]);
+        let c_family = LocalFamily::new(vec![local_impl(), local_impl()]);
+        let out = check_lemma2(&c_family, &a_family).unwrap();
+        assert!(out.exercised());
+        assert!(out.conclusion_holds);
+    }
+
+    /// Oscillator locals: no self-loops, so the lifted product has no
+    /// divergent stutter cycles and Theorem 4's premise can hold
+    /// non-vacuously under pure path semantics.
+    fn oscillator(inits: &[usize]) -> FiniteSystem {
+        sys(2, inits, &[(0, 1), (1, 0)])
+    }
+
+    #[test]
+    fn theorem4_holds_on_two_process_family() {
+        let a_family = LocalFamily::new(vec![oscillator(&[0]), oscillator(&[0])]);
+        let c_family = LocalFamily::new(vec![oscillator(&[0]), oscillator(&[0])]);
+        let w_family = LocalFamily::new(vec![oscillator(&[0, 1]), oscillator(&[0, 1])]);
+        let out = check_theorem4(&c_family, &a_family, &w_family, &w_family).unwrap();
+        assert!(out.exercised(), "premises should hold on this instance");
+        assert!(out.conclusion_holds);
+    }
+
+    #[test]
+    fn theorem4_premise_fails_when_local_skips_create_divergent_stutter() {
+        // Documents the pure-semantics limitation that motivates the
+        // fairness module: a consistent process may stutter while its peer
+        // stays corrupt, so A ⊓ W is not (pure-)stabilizing to A.
+        let a_family = LocalFamily::new(vec![local_spec(), local_spec()]);
+        let c_family = LocalFamily::new(vec![local_impl(), local_impl()]);
+        let w_family = LocalFamily::new(vec![local_wrapper(), local_wrapper()]);
+        let out = check_theorem4(&c_family, &a_family, &w_family, &w_family).unwrap();
+        assert!(!out.exercised());
+        assert!(out.validated()); // vacuously true — the theorem is not contradicted
+    }
+
+    #[test]
+    fn theorem4_detects_failed_local_premise() {
+        let a_family = LocalFamily::new(vec![local_spec(), local_spec()]);
+        // Second process's "implementation" takes an edge the spec lacks.
+        let rogue = sys(2, &[0], &[(0, 1), (1, 1)]);
+        let c_family = LocalFamily::new(vec![local_impl(), rogue]);
+        let w_family = LocalFamily::new(vec![local_wrapper(), local_wrapper()]);
+        let out = check_theorem4(&c_family, &a_family, &w_family, &w_family).unwrap();
+        assert!(!out.exercised());
+    }
+
+    #[test]
+    fn three_process_family_still_checks() {
+        let a_family = LocalFamily::new(vec![oscillator(&[0]); 3]);
+        let c_family = LocalFamily::new(vec![oscillator(&[0]); 3]);
+        let w_family = LocalFamily::new(vec![oscillator(&[0, 1]); 3]);
+        let out = check_theorem4(&c_family, &a_family, &w_family, &w_family).unwrap();
+        assert!(out.exercised());
+        assert!(out.conclusion_holds);
+    }
+
+    #[test]
+    fn empty_family_is_rejected() {
+        let empty = LocalFamily::new(vec![]);
+        assert!(empty.is_empty());
+        assert!(empty.compose().is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! UNITY-style temporal predicates over finite systems.
+//!
+//! The paper expresses `TME_Spec` and `Lspec` in UNITY (Chandy & Misra):
+//! `p unless q`, `stable p`, `q is invariant`, `p ↦ q` (leads-to) and
+//! `p ⤳ q` (leads-to-always). This module evaluates those operators over a
+//! [`FiniteSystem`] by quantifying over its computations, so finite-instance
+//! specifications can be checked mechanically.
+//!
+//! Semantics notes:
+//!
+//! * `unless`/`stable`/`invariant` quantify over **all** transitions
+//!   (everywhere semantics), matching the paper's use of these operators in
+//!   everywhere specifications.
+//! * `leads_to` quantifies over computations from the given start set
+//!   (by default the initial states): from every reachable `p`-state, every
+//!   computation eventually reaches a `q`-state. There is no fairness
+//!   assumption — scheduling is demonic — so systems that rely on fairness
+//!   must encode it in their transition structure.
+
+use std::collections::BTreeSet;
+
+use crate::FiniteSystem;
+
+/// A state predicate over a finite system: the set of states satisfying it.
+pub type Predicate<'a> = &'a dyn Fn(usize) -> bool;
+
+fn states_where(sys: &FiniteSystem, p: Predicate<'_>) -> BTreeSet<usize> {
+    (0..sys.num_states()).filter(|&s| p(s)).collect()
+}
+
+/// The UNITY `p unless q` over every transition of the system: if `p ∧ ¬q`
+/// holds before a step, `p ∨ q` holds after it.
+///
+/// # Example
+///
+/// ```
+/// use graybox_core::{unity, FiniteSystem};
+///
+/// let sys = FiniteSystem::builder(3).initial(0).edges([(0, 1), (1, 2), (2, 2)]).build()?;
+/// // "state < 2" unless "state == 2": can only leave {0,1} by entering 2.
+/// assert!(unity::unless(&sys, &|s| s < 2, &|s| s == 2));
+/// # Ok::<(), graybox_core::SystemError>(())
+/// ```
+pub fn unless(sys: &FiniteSystem, p: Predicate<'_>, q: Predicate<'_>) -> bool {
+    // `p(from) ∧ ¬q(from) ⇒ p(to) ∨ q(to)`, written in disjunctive form.
+    sys.edges()
+        .iter()
+        .all(|&(from, to)| !p(from) || q(from) || p(to) || q(to))
+}
+
+/// The UNITY `stable p` ≡ `p unless false`.
+pub fn stable(sys: &FiniteSystem, p: Predicate<'_>) -> bool {
+    unless(sys, p, &|_| false)
+}
+
+/// The UNITY `q is invariant`: `q` holds in the initial states and is
+/// stable.
+pub fn invariant(sys: &FiniteSystem, q: Predicate<'_>) -> bool {
+    sys.init().iter().all(|&s| q(s)) && stable(sys, q)
+}
+
+/// The UNITY `p ↦ q` (leads-to) over computations from the initial states:
+/// whenever `p` holds at a reachable state, every computation from there
+/// eventually reaches a state satisfying `q`.
+///
+/// Evaluated by checking that, in the subgraph of `¬q` states, no reachable
+/// `p ∧ ¬q` state can reach a cycle of `¬q` states (which would let a
+/// computation avoid `q` forever).
+pub fn leads_to(sys: &FiniteSystem, p: Predicate<'_>, q: Predicate<'_>) -> bool {
+    let reachable = sys.reachable_from_init();
+    let starts: Vec<usize> = reachable
+        .iter()
+        .copied()
+        .filter(|&s| p(s) && !q(s))
+        .collect();
+    if starts.is_empty() {
+        return true;
+    }
+    // States from which a computation can avoid q forever: states on a
+    // ¬q-cycle, plus states that reach such a cycle through ¬q states.
+    let avoiders = can_avoid_forever(sys, q);
+    starts.iter().all(|s| !avoiders.contains(s))
+}
+
+/// The paper's `p ⤳ q` ("leads to always"): `p ↦ q` and `stable q`.
+pub fn leads_to_always(sys: &FiniteSystem, p: Predicate<'_>, q: Predicate<'_>) -> bool {
+    leads_to(sys, p, q) && stable(sys, q)
+}
+
+/// States from which some computation avoids `q` forever.
+fn can_avoid_forever(sys: &FiniteSystem, q: Predicate<'_>) -> BTreeSet<usize> {
+    let not_q = states_where(sys, &|s| !q(s));
+    // A ¬q-state is an avoider iff it lies on a ¬q-cycle or reaches one via
+    // ¬q edges. Compute states on ¬q-cycles by iteratively trimming
+    // ¬q-states with no successor inside the live ¬q set, then flood
+    // backwards.
+    let mut live: BTreeSet<usize> = not_q.clone();
+    loop {
+        let dead: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&s| !sys.successors(s).any(|t| live.contains(&t)))
+            .collect();
+        if dead.is_empty() {
+            break;
+        }
+        for s in dead {
+            live.remove(&s);
+        }
+    }
+    // `live` now holds ¬q states with an infinite ¬q-path; that is exactly
+    // the avoider set.
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
+        FiniteSystem::builder(n)
+            .initials(init.iter().copied())
+            .edges(edges.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unless_holds_on_guarded_exit() {
+        let s = sys(3, &[0], &[(0, 1), (1, 2), (2, 2)]);
+        assert!(unless(&s, &|x| x < 2, &|x| x == 2));
+        assert!(unless(&s, &|x| x == 0, &|x| x == 1));
+    }
+
+    #[test]
+    fn unless_fails_on_unguarded_exit() {
+        let s = sys(3, &[0], &[(0, 2), (1, 1), (2, 2)]);
+        // p = {0,1}, q = {1}: step 0 -> 2 leaves p without passing q.
+        assert!(!unless(&s, &|x| x < 2, &|x| x == 1));
+    }
+
+    #[test]
+    fn unless_vacuous_when_p_never_holds() {
+        let s = sys(2, &[0], &[(0, 1), (1, 0)]);
+        assert!(unless(&s, &|_| false, &|_| false));
+    }
+
+    #[test]
+    fn stable_means_closed() {
+        let s = sys(3, &[0], &[(0, 1), (1, 0), (2, 1)]);
+        assert!(stable(&s, &|x| x < 2));
+        assert!(!stable(&s, &|x| x == 2));
+    }
+
+    #[test]
+    fn invariant_needs_init_and_closure() {
+        let s = sys(3, &[0], &[(0, 1), (1, 0), (2, 2)]);
+        assert!(invariant(&s, &|x| x < 2));
+        // Holds initially but not closed:
+        let s2 = sys(2, &[0], &[(0, 1), (1, 1)]);
+        assert!(!invariant(&s2, &|x| x == 0));
+        // Closed but not initial:
+        assert!(!invariant(&s, &|x| x == 2));
+    }
+
+    #[test]
+    fn leads_to_on_a_progressing_chain() {
+        let s = sys(3, &[0], &[(0, 1), (1, 2), (2, 2)]);
+        assert!(leads_to(&s, &|x| x == 0, &|x| x == 2));
+        assert!(leads_to(&s, &|_| true, &|x| x == 2));
+    }
+
+    #[test]
+    fn leads_to_fails_with_escape_loop() {
+        // From 0 the computation may loop at 1 forever.
+        let s = sys(3, &[0], &[(0, 1), (1, 1), (1, 2), (2, 2)]);
+        assert!(!leads_to(&s, &|x| x == 0, &|x| x == 2));
+    }
+
+    #[test]
+    fn leads_to_ignores_unreachable_p_states() {
+        // State 2 is p but unreachable from init; its livelock is ignored.
+        let s = sys(3, &[0], &[(0, 1), (1, 1), (2, 2)]);
+        assert!(leads_to(&s, &|x| x == 2 || x == 0, &|x| x == 1));
+    }
+
+    #[test]
+    fn leads_to_trivial_when_p_implies_q() {
+        let s = sys(2, &[0], &[(0, 0), (1, 1)]);
+        assert!(leads_to(&s, &|x| x == 0, &|x| x == 0));
+    }
+
+    #[test]
+    fn leads_to_always_requires_stability() {
+        let s = sys(3, &[0], &[(0, 1), (1, 2), (2, 2)]);
+        assert!(leads_to_always(&s, &|x| x == 0, &|x| x == 2));
+        // 1 is reached but not stable:
+        assert!(!leads_to_always(&s, &|x| x == 0, &|x| x == 1));
+    }
+
+    #[test]
+    fn avoider_trimming_handles_dead_ends_into_q() {
+        // 0 -> 1 -> q(2); 1 has a non-q successor 0, and 0 -> 1 only:
+        // cycle {0,1} avoids q forever.
+        let s = sys(3, &[0], &[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        assert!(!leads_to(&s, &|x| x == 0, &|x| x == 2));
+    }
+}

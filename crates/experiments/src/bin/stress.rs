@@ -1,0 +1,76 @@
+//! Stress sweep: hunt for configurations where a *wrapped* system fails to
+//! stabilize — any hit is a bug (Theorem 8 says there are none).
+//!
+//! ```text
+//! cargo run --release -p graybox-experiments --bin stress [seeds-per-cell]
+//! ```
+//!
+//! Sweeps implementations × fault kinds × burst sizes × seeds, plus mixed
+//! storms, printing every non-stabilizing wrapped run. Exit code 1 if any
+//! failure was found.
+
+use std::process::ExitCode;
+
+use graybox_faults::{run_tme, FaultKind, FaultPlan, RunConfig};
+use graybox_simnet::SimTime;
+use graybox_tme::{Implementation, WorkloadConfig};
+use graybox_wrapper::WrapperConfig;
+
+fn main() -> ExitCode {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let mut runs = 0usize;
+    let mut failures = 0usize;
+
+    let mut check = |label: String, config: &RunConfig| {
+        runs += 1;
+        let outcome = run_tme(config);
+        if !outcome.verdict.stabilized {
+            failures += 1;
+            println!(
+                "FAIL {label}: entries={:?} me1={} starved={}",
+                outcome.entries, outcome.verdict.me1_violations, outcome.verdict.starved
+            );
+        }
+    };
+
+    for implementation in Implementation::ALL {
+        for kind in FaultKind::ALL {
+            for burst in [2usize, 5] {
+                for seed in 0..seeds {
+                    let config = RunConfig::new(3, implementation)
+                        .wrapper(WrapperConfig::timeout(8))
+                        .seed(seed * 1_009 + 7)
+                        .workload(WorkloadConfig {
+                            n: 3,
+                            requests_per_process: 3,
+                            mean_think: 50,
+                            eat_for: 4,
+                            start: 1,
+                        })
+                        .faults(FaultPlan::burst(kind, SimTime::from(80), burst));
+                    check(
+                        format!("{implementation} {kind} x{burst} seed {seed}"),
+                        &config,
+                    );
+                }
+            }
+        }
+        // Mixed storms.
+        for seed in 0..seeds {
+            let config = RunConfig::new(4, implementation)
+                .wrapper(WrapperConfig::timeout(8))
+                .seed(seed * 613 + 3)
+                .faults(FaultPlan::random_mix(seed, (30, 300), 15, &FaultKind::ALL));
+            check(format!("{implementation} storm-15 seed {seed}"), &config);
+        }
+    }
+    println!("{runs} wrapped runs, {failures} failures");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

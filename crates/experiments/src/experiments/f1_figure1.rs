@@ -1,0 +1,64 @@
+//! F1 — the Figure 1 counterexample, machine-checked.
+
+use graybox_core::{everywhere_implements, figure1, implements_from_init, is_stabilizing_to};
+
+use crate::table::{mark, Table};
+
+use super::{ExperimentResult, Scale};
+
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let (a, c) = figure1::systems();
+    let mut table = Table::new(&["relation", "expected", "checked"]);
+    let rows: Vec<(&str, bool, bool)> = vec![
+        ("[C => A]_init", true, implements_from_init(&c, &a)),
+        (
+            "A is stabilizing to A",
+            true,
+            is_stabilizing_to(&a, &a).holds(),
+        ),
+        (
+            "C is stabilizing to A",
+            false,
+            is_stabilizing_to(&c, &a).holds(),
+        ),
+        (
+            "[C => A] (everywhere)",
+            false,
+            everywhere_implements(&c, &a),
+        ),
+    ];
+    let mut all_match = true;
+    for (relation, expected, checked) in rows {
+        all_match &= expected == checked;
+        table.row(vec![relation.to_string(), mark(expected), mark(checked)]);
+    }
+    let report = is_stabilizing_to(&c, &a);
+    let rendered = format!(
+        "{}\nModel-checker counterexample: {}.\nAll verdicts match the paper: {}.\n",
+        table.render(),
+        report,
+        mark(all_match),
+    );
+    ExperimentResult {
+        id: "F1",
+        title: "Figure 1: [C => A]_init does not imply stabilization",
+        claim: "a C that implements A from initial states can fail to stabilize \
+                even when A stabilizes to itself; everywhere-implementation is \
+                the missing premise (paper §2.1, Figure 1)",
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_match_the_paper() {
+        let result = run(Scale::Smoke);
+        assert!(result
+            .rendered
+            .contains("All verdicts match the paper: yes"));
+        assert!(result.rendered.contains("not stabilizing"));
+    }
+}

@@ -1,0 +1,86 @@
+//! F3 — the wrapper timeout θ: recovery latency vs redundant messages.
+
+use graybox_faults::{scenarios, RunConfig};
+use graybox_simnet::SimTime;
+use graybox_tme::Implementation;
+use graybox_wrapper::WrapperConfig;
+
+use crate::stats::median;
+use crate::table::Table;
+
+use super::{ExperimentResult, Scale};
+
+pub fn run(scale: Scale) -> ExperimentResult {
+    let thetas: &[u64] = if scale == Scale::Full {
+        &[0, 1, 2, 4, 8, 16, 32, 64, 128]
+    } else {
+        &[0, 16]
+    };
+    let seeds = scale.pick(5, 2) as u64;
+    let n = 3;
+    let mut table = Table::new(&[
+        "θ (ticks)",
+        "recovery median (ticks)",
+        "wrapper msgs median",
+        "recovered",
+    ]);
+    for &theta in thetas {
+        let mut recoveries = Vec::new();
+        let mut resends = Vec::new();
+        let mut recovered = 0usize;
+        for seed in 0..seeds {
+            let config = RunConfig::new(n, Implementation::RicartAgrawala)
+                .wrapper(WrapperConfig::timeout(theta))
+                .seed(seed * 17 + 3)
+                .horizon(SimTime::from(8_000));
+            let (trace, outcome) = scenarios::deadlock(&config);
+            let fault_at = trace.last_fault_time().expect("marked");
+            if outcome.total_entries as usize == n {
+                recovered += 1;
+                recoveries.push(outcome.recovery_ticks(fault_at).unwrap_or(0));
+                resends.push(outcome.wrapper_resends);
+            }
+        }
+        table.row(vec![
+            theta.to_string(),
+            median(&recoveries).to_string(),
+            median(&resends).to_string(),
+            format!("{recovered}/{seeds}"),
+        ]);
+    }
+    ExperimentResult {
+        id: "F3",
+        title: "Timeout sweep: W'(θ) recovery latency vs wrapper traffic",
+        claim: "\"the timeout mechanism is just an optimization\": θ=0 is the \
+                paper's W (latency-optimal, message-maximal endpoint); \
+                recovery latency grows roughly linearly with θ while the \
+                wrapper message count falls sharply (paper §4, the one \
+                quantitative knob it discusses)",
+        rendered: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_show_the_tradeoff() {
+        let result = run(Scale::Smoke);
+        let rows: Vec<Vec<u64>> = result
+            .rendered
+            .lines()
+            .skip(2)
+            .map(|line| {
+                line.split('|')
+                    .filter_map(|cell| cell.trim().split('/').next())
+                    .filter_map(|cell| cell.trim().parse::<u64>().ok())
+                    .collect()
+            })
+            .collect();
+        // θ=0 row recovers faster but sends more than θ=16.
+        let (fast, slow) = (&rows[0], &rows[1]);
+        assert!(fast[1] <= slow[1], "{}", result.rendered);
+        assert!(fast[2] >= slow[2], "{}", result.rendered);
+    }
+}

@@ -1,0 +1,131 @@
+//! F5 — availability timeline around a mid-workload §4 deadlock fault.
+//!
+//! A plain state-corruption burst barely dents a system with an ongoing
+//! request stream — fresh requests repair local copies as a side effect,
+//! with or without the wrapper (an honest negative result, noted in
+//! EXPERIMENTS.md). The fault that *durably* kills the unwrapped system is
+//! the paper's own §4 scenario: all processes hungry with their request
+//! broadcasts lost. This experiment injects exactly that in the middle of
+//! a long workload and charts CS grants per time window.
+
+use graybox_clock::ProcessId;
+use graybox_faults::runner::{build_sim, RunConfig};
+use graybox_simnet::SimTime;
+use graybox_spec::{tme_spec, TraceRecorder};
+use graybox_tme::{Implementation, TmeClient, Workload, WorkloadConfig};
+use graybox_wrapper::WrapperConfig;
+
+use crate::table::Table;
+
+use super::{ExperimentResult, Scale};
+
+const BUCKET: u64 = 200;
+
+pub fn run(scale: Scale) -> ExperimentResult {
+    let n = scale.pick(5, 3);
+    let horizon = SimTime::from(scale.pick(3_000, 1_200) as u64);
+    let burst_at = SimTime::from(scale.pick(900, 400) as u64);
+    let workload = WorkloadConfig {
+        n,
+        requests_per_process: scale.pick(60, 12),
+        mean_think: 50,
+        eat_for: 4,
+        start: 1,
+    };
+
+    let series = |wrapper: WrapperConfig| -> Vec<u64> {
+        let config = RunConfig::new(n, Implementation::RicartAgrawala)
+            .wrapper(wrapper)
+            .seed(5)
+            .workload(workload)
+            .horizon(horizon);
+        let mut sim = build_sim(&config);
+        Workload::generate(workload, 5).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        recorder.run_until(&mut sim, burst_at);
+        // The §4 deadlock, mid-flight: every thinking process requests now…
+        for pid in ProcessId::all(n) {
+            sim.schedule_client(burst_at + 1, pid, TmeClient::Request { eat_for: 4 });
+        }
+        while sim.peek_time().is_some_and(|t| t <= burst_at + 1) {
+            recorder.step(&mut sim);
+        }
+        // …and every channel is flushed (all broadcasts and replies lost).
+        for from in ProcessId::all(n) {
+            for to in ProcessId::all(n) {
+                sim.flush_channel(from, to);
+            }
+        }
+        recorder.mark_fault(&sim, ProcessId(0), "mid-workload §4 deadlock".into());
+        recorder.run_until(&mut sim, horizon);
+        let trace = recorder.into_trace();
+        let buckets = (horizon.ticks() / BUCKET + 1) as usize;
+        let mut counts = vec![0u64; buckets];
+        for grant in tme_spec::granted_requests(&trace) {
+            let bucket = (grant.entry_time.ticks() / BUCKET) as usize;
+            if bucket < buckets {
+                counts[bucket] += 1;
+            }
+        }
+        counts
+    };
+    let wrapped = series(WrapperConfig::timeout(8));
+    let unwrapped = series(WrapperConfig::off());
+
+    let mut table = Table::new(&[
+        "window (ticks)",
+        "grants (wrapped W'(8))",
+        "grants (unwrapped)",
+        "note",
+    ]);
+    for (i, (w, u)) in wrapped.iter().zip(&unwrapped).enumerate() {
+        let start = i as u64 * BUCKET;
+        let note = if burst_at.ticks() >= start && burst_at.ticks() < start + BUCKET {
+            "<- all request, all channels flushed".to_string()
+        } else {
+            String::new()
+        };
+        table.row(vec![
+            format!("{start}..{}", start + BUCKET),
+            w.to_string(),
+            u.to_string(),
+            note,
+        ]);
+    }
+    let totals = format!(
+        "\nTotal grants: wrapped {} vs unwrapped {}.\n",
+        wrapped.iter().sum::<u64>(),
+        unwrapped.iter().sum::<u64>()
+    );
+    ExperimentResult {
+        id: "F5",
+        title: "Availability timeline around a mid-workload deadlock fault",
+        claim: "once mutual consistency is destroyed with every process \
+                hungry, the unwrapped system's throughput drops to zero \
+                forever (later client requests are ignored while hungry); \
+                the wrapped system dips for one recovery period and resumes \
+                full service",
+        rendered: format!("{}{}", table.render(), totals),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapped_outlives_the_unwrapped_after_the_fault() {
+        let result = run(Scale::Smoke);
+        let line = result
+            .rendered
+            .lines()
+            .find(|l| l.starts_with("Total grants"))
+            .unwrap();
+        let numbers: Vec<u64> = line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(numbers[0] > numbers[1], "{}", result.rendered);
+    }
+}

@@ -1,0 +1,128 @@
+//! One module per experiment; see the crate docs for the claim index.
+
+mod f1_figure1;
+mod f2_convergence_vs_n;
+mod f3_theta_sweep;
+mod f4_steady_overhead;
+mod f5_timeline;
+mod f6_fairness;
+mod t10_fifo_ablation;
+mod t1_theorems;
+mod t2_conformance;
+mod t3_deadlock;
+mod t4_fault_matrix;
+mod t5_reusability;
+mod t6_ablation;
+mod t7_arbitrary_init;
+mod t8_extensions;
+mod t9_exhaustive;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny parameters for unit tests.
+    Smoke,
+    /// The parameters used to produce EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Picks `full` or `smoke` by scale.
+    pub fn pick(self, full: usize, smoke: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => smoke,
+        }
+    }
+}
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. `"T3"`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The paper claim this experiment substantiates.
+    pub claim: &'static str,
+    /// Rendered tables/series, markdown.
+    pub rendered: String,
+}
+
+impl ExperimentResult {
+    /// Renders the full section (heading + claim + body).
+    pub fn section(&self) -> String {
+        format!(
+            "## {} — {}\n\n*Claim:* {}\n\n{}\n",
+            self.id, self.title, self.claim, self.rendered
+        )
+    }
+}
+
+type Runner = fn(Scale) -> ExperimentResult;
+
+const REGISTRY: &[(&str, Runner)] = &[
+    ("F1", f1_figure1::run),
+    ("T1", t1_theorems::run),
+    ("T2", t2_conformance::run),
+    ("T3", t3_deadlock::run),
+    ("T4", t4_fault_matrix::run),
+    ("F2", f2_convergence_vs_n::run),
+    ("F3", f3_theta_sweep::run),
+    ("F4", f4_steady_overhead::run),
+    ("T5", t5_reusability::run),
+    ("T6", t6_ablation::run),
+    ("T7", t7_arbitrary_init::run),
+    ("T8", t8_extensions::run),
+    ("T9", t9_exhaustive::run),
+    ("T10", t10_fifo_ablation::run),
+    ("F5", f5_timeline::run),
+    ("F6", f6_fairness::run),
+];
+
+/// All known experiment ids, in report order.
+pub fn all_ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(id, _)| *id).collect()
+}
+
+/// Runs the experiment with the given id at full scale.
+pub fn run_experiment(id: &str) -> Option<ExperimentResult> {
+    run_experiment_at(id, Scale::Full)
+}
+
+/// Runs the experiment with the given id at the given scale.
+pub fn run_experiment_at(id: &str, scale: Scale) -> Option<ExperimentResult> {
+    REGISTRY
+        .iter()
+        .find(|(key, _)| key.eq_ignore_ascii_case(id))
+        .map(|(_, runner)| runner(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_known() {
+        let ids = all_ids();
+        let set: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        assert!(ids.contains(&"F1"));
+        assert!(ids.contains(&"T4"));
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("ZZ").is_none());
+    }
+
+    #[test]
+    fn every_experiment_runs_at_smoke_scale() {
+        for id in all_ids() {
+            let result = run_experiment_at(id, Scale::Smoke).expect("registered");
+            assert_eq!(result.id, id);
+            assert!(!result.rendered.is_empty(), "{id} produced no output");
+            assert!(result.section().starts_with(&format!("## {id}")));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! T2 — fault-free conformance: Theorems 5, 9, 10.
+
+use graybox_faults::{run_tme_trace, RunConfig};
+use graybox_spec::lspec::{self, DEFAULT_GRACE};
+use graybox_spec::tme_spec;
+use graybox_tme::{Implementation, WorkloadConfig};
+
+use crate::table::{mark, Table};
+
+use super::{ExperimentResult, Scale};
+
+pub fn run(scale: Scale) -> ExperimentResult {
+    let sizes: &[usize] = if scale == Scale::Full {
+        &[2, 3, 5, 8]
+    } else {
+        &[2, 3]
+    };
+    let seeds = scale.pick(3, 1) as u64;
+    let mut table = Table::new(&[
+        "implementation",
+        "n",
+        "seeds",
+        "Lspec holds",
+        "ME1",
+        "ME2",
+        "ME3",
+        "invariant I",
+    ]);
+    for implementation in Implementation::ALL {
+        for &n in sizes {
+            let mut lspec_ok = true;
+            let mut me = [true; 3];
+            let mut invariant_ok = true;
+            for seed in 0..seeds {
+                let config = RunConfig::new(n, implementation)
+                    .seed(seed * 31 + n as u64)
+                    .workload(WorkloadConfig {
+                        n,
+                        requests_per_process: 3,
+                        mean_think: 30,
+                        eat_for: 4,
+                        start: 1,
+                    });
+                let (trace, _) = run_tme_trace(&config);
+                lspec_ok &= lspec::check_all(&trace, DEFAULT_GRACE).holds();
+                let report = tme_spec::check_all(&trace, DEFAULT_GRACE);
+                me[0] &= report.me1.holds();
+                me[1] &= report.me2.holds();
+                me[2] &= report.me3.holds();
+                invariant_ok &= lspec::check_invariant_i(&trace).holds();
+            }
+            table.row(vec![
+                implementation.label().to_string(),
+                n.to_string(),
+                seeds.to_string(),
+                mark(lspec_ok),
+                mark(me[0]),
+                mark(me[1]),
+                mark(me[2]),
+                mark(invariant_ok),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "T2",
+        title: "Fault-free conformance to Lspec and TME_Spec",
+        claim: "RA_ME and Lamport_ME (and the independent Alt_ME) everywhere \
+                implement Lspec (Theorems 9, 10), and every Lspec \
+                implementation implements TME_Spec (Theorem 5) and keeps the \
+                invariant I (Theorem A.1) — every cell must be 'yes'",
+        rendered: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cell_fails() {
+        let result = run(Scale::Smoke);
+        assert!(!result.rendered.contains("NO"), "{}", result.rendered);
+    }
+}

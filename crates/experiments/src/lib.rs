@@ -1,0 +1,43 @@
+//! # Experiment harness for the graybox stabilization reproduction
+//!
+//! "Graybox Stabilization" (DSN 2001) is a conceptual paper with no
+//! measured evaluation; its verifiable content is Figure 1, the theorems,
+//! the §4 deadlock scenario, and the qualitative θ-tuning remark. This
+//! crate regenerates **every table and figure of EXPERIMENTS.md**, each
+//! substantiating a specific claim in the paper (see DESIGN.md §4 for the
+//! index):
+//!
+//! | id | claim |
+//! |----|-------|
+//! | F1 | Figure 1 counterexample |
+//! | T1 | Lemma 0, Theorems 1/4 (pure + fair semantics), randomized |
+//! | T2 | Theorems 5/9/10: fault-free conformance to `Lspec` ∧ `TME_Spec` |
+//! | T3 | §4 deadlock: unwrapped starves, wrapped recovers |
+//! | T4 | Theorem 8: stabilization across the full §3.1 fault matrix |
+//! | F2 | recovery latency vs system size n |
+//! | F3 | θ sweep: recovery latency vs wrapper messages |
+//! | F4 | steady-state wrapper overhead in legitimate states (Lemma 6) |
+//! | T5 | Corollary 11: one wrapper, three implementations |
+//! | T6 | ablation: refined W vs the unrefined first version |
+//! | F5 | availability timeline around a fault burst |
+//!
+//! Run `cargo run -p graybox-experiments --release -- all` to regenerate
+//! everything, or pass individual ids.
+//!
+//! # Example
+//!
+//! ```
+//! use graybox_experiments::run_experiment;
+//!
+//! let result = run_experiment("F1").expect("known id");
+//! assert!(result.rendered.contains("stabilizing"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use experiments::{all_ids, run_experiment, ExperimentResult};

@@ -1,0 +1,54 @@
+//! CLI: regenerate the tables and figures of EXPERIMENTS.md.
+//!
+//! ```text
+//! graybox-experiments list          # show experiment ids and titles
+//! graybox-experiments all           # run everything, print sections
+//! graybox-experiments T3 F3         # run a subset
+//! graybox-experiments --smoke all   # tiny parameters (CI)
+//! ```
+
+use std::process::ExitCode;
+
+use graybox_experiments::experiments::{all_ids, run_experiment_at, Scale};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(pos) = args.iter().position(|a| a == "--smoke") {
+        args.remove(pos);
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: graybox-experiments [--smoke] <list|all|ID...>");
+        eprintln!("known ids: {}", all_ids().join(", "));
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        for id in all_ids() {
+            // Titles come from the runs themselves; list just shows ids.
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<String> = if args[0] == "all" {
+        all_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in &ids {
+        match run_experiment_at(id, scale) {
+            Some(result) => {
+                println!("{}", result.section());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment id: {id} (known: {})",
+                    all_ids().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

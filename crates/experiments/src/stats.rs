@@ -1,0 +1,52 @@
+//! Tiny summary-statistics helpers for experiment tables.
+
+/// Median of a sample (0 for empty samples).
+pub fn median(values: &[u64]) -> u64 {
+    percentile(values, 50.0)
+}
+
+/// The `p`-th percentile using nearest-rank (0 for empty samples).
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Arithmetic mean (0.0 for empty samples).
+pub fn mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<u64>() as f64 / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[5, 1, 3]), 3);
+        assert_eq!(median(&[4, 1, 3, 2]), 2);
+        assert_eq!(median(&[]), 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let values = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&values, 95.0), 100);
+        assert_eq!(percentile(&values, 50.0), 50);
+        assert_eq!(percentile(&values, 1.0), 10);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert!((mean(&[1, 2, 3]) - 2.0).abs() < f64::EPSILON);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Tables are rendered as GitHub-flavoured markdown so EXPERIMENTS.md can
+//! embed harness output verbatim.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned markdown table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned markdown.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], widths: &[usize]| {
+            out.push('|');
+            for (cell, width) in cells.iter().zip(widths) {
+                let _ = write!(out, " {cell:<width$} |");
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header, &widths);
+        out.push('|');
+        for width in &widths {
+            let _ = write!(out, "{}|", "-".repeat(width + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row, &widths);
+        }
+        let _ = columns;
+        out
+    }
+}
+
+/// Formats an `Option<u64>` metric (`-` for absent).
+pub fn opt(value: Option<u64>) -> String {
+    value.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+/// Formats a boolean as a check/cross.
+pub fn mark(ok: bool) -> String {
+    if ok {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * numerator as f64 / denominator as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut table = Table::new(&["name", "value"]);
+        table.row(vec!["alpha".into(), "1".into()]);
+        table.row(vec!["b".into(), "22".into()]);
+        let text = table.render();
+        assert!(text.starts_with("| name"));
+        assert!(text.contains("| alpha | 1     |"));
+        assert!(text.contains("|-------|"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = Table::new(&["a", "b", "c"]);
+        table.row(vec!["x".into()]);
+        assert!(table.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(opt(Some(5)), "5");
+        assert_eq!(opt(None), "-");
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "NO");
+        assert_eq!(pct(1, 2), "50.0%");
+        assert_eq!(pct(0, 0), "-");
+    }
+}

@@ -1,0 +1,180 @@
+use graybox_simnet::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault class from the paper's §3.1 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A random in-flight message is lost.
+    DropMessage,
+    /// A random in-flight message is duplicated (fresh copy, own delay).
+    DuplicateMessage,
+    /// A random in-flight message's payload is rewritten arbitrarily.
+    CorruptMessage,
+    /// An arbitrary garbage message appears on a random channel
+    /// ("channels improperly initialized" / adversarial injection).
+    InjectGarbage,
+    /// A random channel loses everything in flight.
+    FlushChannel,
+    /// A random process's state is transiently, arbitrarily corrupted.
+    CorruptProcess,
+    /// A random process fails and recovers: its state returns to `Init`
+    /// (which is *not* necessarily consistent with the others).
+    ResetProcess,
+}
+
+impl FaultKind {
+    /// Every fault kind, for mixed campaigns.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::DropMessage,
+        FaultKind::DuplicateMessage,
+        FaultKind::CorruptMessage,
+        FaultKind::InjectGarbage,
+        FaultKind::FlushChannel,
+        FaultKind::CorruptProcess,
+        FaultKind::ResetProcess,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DropMessage => "drop",
+            FaultKind::DuplicateMessage => "duplicate",
+            FaultKind::CorruptMessage => "corrupt-msg",
+            FaultKind::InjectGarbage => "garbage",
+            FaultKind::FlushChannel => "flush",
+            FaultKind::CorruptProcess => "corrupt-state",
+            FaultKind::ResetProcess => "reset",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fault scheduled at a virtual time. Targets (which channel, which
+/// process, which message) are drawn by the runner from its seeded RNG at
+/// injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When to inject.
+    pub at: SimTime,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (fault-free run).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A burst of `count` same-kind faults at one instant.
+    pub fn burst(kind: FaultKind, at: SimTime, count: usize) -> Self {
+        FaultPlan {
+            events: (0..count).map(|_| FaultEvent { at, kind }).collect(),
+        }
+    }
+
+    /// `count` faults with kinds drawn from `kinds`, at times drawn
+    /// uniformly from `window`, all from `seed`.
+    pub fn random_mix(seed: u64, window: (u64, u64), count: usize, kinds: &[FaultKind]) -> Self {
+        assert!(!kinds.is_empty(), "need at least one fault kind");
+        assert!(window.0 <= window.1, "window must be ordered");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events: Vec<FaultEvent> = (0..count)
+            .map(|_| FaultEvent {
+                at: SimTime::from(rng.gen_range(window.0..=window.1)),
+                kind: kinds[rng.gen_range(0..kinds.len())],
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// Adds an event (keeps the plan sorted).
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Merges another plan into this one.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The scheduled events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True for the empty plan.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last scheduled fault.
+    pub fn last_fault_time(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_schedules_identical_events() {
+        let plan = FaultPlan::burst(FaultKind::DropMessage, SimTime::from(10), 3);
+        assert_eq!(plan.events().len(), 3);
+        assert!(plan.events().iter().all(|e| e.at == SimTime::from(10)));
+        assert_eq!(plan.last_fault_time(), Some(SimTime::from(10)));
+    }
+
+    #[test]
+    fn random_mix_is_deterministic_and_sorted() {
+        let a = FaultPlan::random_mix(5, (10, 100), 8, &FaultKind::ALL);
+        let b = FaultPlan::random_mix(5, (10, 100), 8, &FaultKind::ALL);
+        assert_eq!(a, b);
+        let times: Vec<_> = a.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        assert!(times
+            .iter()
+            .all(|t| *t >= SimTime::from(10) && *t <= SimTime::from(100)));
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let a = FaultPlan::burst(FaultKind::FlushChannel, SimTime::from(50), 1);
+        let b = FaultPlan::burst(FaultKind::CorruptProcess, SimTime::from(20), 1);
+        let merged = a.merge(b);
+        assert_eq!(merged.events()[0].kind, FaultKind::CorruptProcess);
+        assert_eq!(merged.events()[1].kind, FaultKind::FlushChannel);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().last_fault_time(), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            FaultKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+}

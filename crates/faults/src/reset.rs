@@ -1,0 +1,62 @@
+use graybox_tme::TmeProcess;
+use graybox_wrapper::GrayboxWrapper;
+
+/// A process that can fail and recover: its state returns to the
+/// protocol's `Init` values (identity preserved).
+///
+/// Note that `Init` of a *single* process is not a globally consistent
+/// state — the peers still hold stale information about it, which is
+/// precisely a level-2 (mutual-consistency) fault the wrapper must mend.
+pub trait Resettable {
+    /// Replaces the state with the protocol's initial state.
+    fn reset(&mut self);
+}
+
+impl Resettable for TmeProcess {
+    fn reset(&mut self) {
+        let implementation = self.implementation();
+        // Rebuild from the factory: identity and topology survive a crash.
+        let (id, n) = (graybox_simnet::Process::id(self), self.lspec_n());
+        *self = TmeProcess::new(implementation, id, n);
+    }
+}
+
+impl<P: Resettable> Resettable for GrayboxWrapper<P> {
+    fn reset(&mut self) {
+        self.inner_mut().reset();
+    }
+}
+
+use graybox_tme::LspecView;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox_clock::ProcessId;
+    use graybox_simnet::Corruptible;
+    use graybox_tme::Implementation;
+    use graybox_tme::Mode;
+    use graybox_wrapper::WrapperConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reset_restores_init_state() {
+        let mut p = TmeProcess::new(Implementation::Lamport, ProcessId(1), 3);
+        p.corrupt(&mut SmallRng::seed_from_u64(2));
+        p.reset();
+        assert_eq!(p.mode(), Mode::Thinking);
+        assert_eq!(p.entries(), 0);
+        assert_eq!(p.implementation(), Implementation::Lamport);
+        assert_eq!(graybox_simnet::Process::id(&p), ProcessId(1));
+    }
+
+    #[test]
+    fn reset_reaches_through_the_wrapper() {
+        let inner = TmeProcess::new(Implementation::RicartAgrawala, ProcessId(0), 2);
+        let mut wrapped = GrayboxWrapper::new(inner, WrapperConfig::eager());
+        wrapped.inner_mut().corrupt(&mut SmallRng::seed_from_u64(3));
+        wrapped.reset();
+        assert_eq!(wrapped.inner().mode(), Mode::Thinking);
+    }
+}

@@ -1,0 +1,414 @@
+use graybox_clock::{ProcessId, Timestamp};
+use graybox_simnet::{Corruptible, SimConfig, SimTime, Simulation};
+use graybox_spec::convergence::{self, ConvergenceReport};
+use graybox_spec::lspec::DEFAULT_GRACE;
+use graybox_spec::{Trace, TraceRecorder};
+use graybox_tme::{Implementation, TmeMsg, TmeProcess, Workload, WorkloadConfig};
+use graybox_wrapper::{GrayboxWrapper, WrapperConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FaultKind, FaultPlan, Resettable};
+
+/// The process type every campaign runs: a (possibly disabled) graybox
+/// wrapper around one of the bundled implementations. Baselines use
+/// [`WrapperConfig::off`], so wrapped and unwrapped systems share one
+/// simulation type and differ *only* in the wrapper configuration.
+pub type Wrapped = GrayboxWrapper<TmeProcess>;
+
+/// Configuration of one campaign run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Which `Lspec` implementation to run.
+    pub implementation: Implementation,
+    /// Wrapper configuration ([`WrapperConfig::off`] = baseline).
+    pub wrapper: WrapperConfig,
+    /// Seed for workload, delays, and fault targeting.
+    pub seed: u64,
+    /// Client workload parameters (`n` is overridden by `self.n`).
+    pub workload: WorkloadConfig,
+    /// The fault schedule.
+    pub faults: FaultPlan,
+    /// Run horizon; defaults to `last(workload, faults) + 2_000` ticks.
+    pub horizon: Option<SimTime>,
+    /// Liveness grace period for the checkers.
+    pub grace: u64,
+    /// Message delay bounds.
+    pub delays: (u64, u64),
+    /// FIFO channels (the Communication Spec). Disable only for the T10
+    /// ablation.
+    pub fifo: bool,
+}
+
+impl RunConfig {
+    /// A fault-free, unwrapped run of `n` processes.
+    pub fn new(n: usize, implementation: Implementation) -> Self {
+        RunConfig {
+            n,
+            implementation,
+            wrapper: WrapperConfig::off(),
+            seed: 0,
+            workload: WorkloadConfig::default(),
+            faults: FaultPlan::none(),
+            horizon: None,
+            grace: DEFAULT_GRACE,
+            delays: (1, 8),
+            fifo: true,
+        }
+    }
+
+    /// Sets the wrapper configuration.
+    pub fn wrapper(mut self, wrapper: WrapperConfig) -> Self {
+        self.wrapper = wrapper;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, workload: WorkloadConfig) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets an explicit horizon.
+    pub fn horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Disables FIFO delivery (Communication Spec ablation).
+    pub fn non_fifo(mut self) -> Self {
+        self.fifo = false;
+        self
+    }
+
+    fn effective_horizon(&self, workload: &Workload) -> SimTime {
+        self.horizon.unwrap_or_else(|| {
+            let last = workload
+                .last_request_at()
+                .max(self.faults.last_fault_time().unwrap_or(SimTime::ZERO));
+            last + 2_000
+        })
+    }
+}
+
+/// Condensed stabilization verdict of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Did the run have a legitimate suffix (stabilize)?
+    pub stabilized: bool,
+    /// Ticks from the last fault to convergence (`None` if it never
+    /// converged; `Some(0)` for clean runs).
+    pub convergence_ticks: Option<u64>,
+    /// ME1 (mutual exclusion) violations anywhere in the run.
+    pub me1_violations: usize,
+    /// Processes verdicts of permanent starvation.
+    pub starved: usize,
+}
+
+impl Verdict {
+    fn from_report(report: &ConvergenceReport) -> Self {
+        Verdict {
+            stabilized: report.stabilized(),
+            convergence_ticks: report.convergence_ticks(),
+            me1_violations: report.me1_violations,
+            starved: report.starved,
+        }
+    }
+}
+
+/// Everything measured about one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The stabilization verdict.
+    pub verdict: Verdict,
+    /// Critical-section entries per process.
+    pub entries: Vec<u64>,
+    /// Total critical-section entries.
+    pub total_entries: u64,
+    /// Messages re-sent by the wrappers (their overhead).
+    pub wrapper_resends: u64,
+    /// Total messages sent (protocol + wrapper + injected).
+    pub messages_sent: u64,
+    /// The run horizon actually used.
+    pub horizon: SimTime,
+    /// Number of faults injected.
+    pub faults_injected: usize,
+    /// Time of the last critical-section grant in the run — for scenarios
+    /// whose workload ends before the faults, this is the service-recovery
+    /// instant (how long deadlocked requests waited).
+    pub last_grant_at: Option<SimTime>,
+}
+
+impl RunOutcome {
+    /// Ticks from the last injected fault to the last grant: the
+    /// service-recovery latency of scenarios whose pending requests were
+    /// all issued before the fault. `None` when nothing was granted after
+    /// the fault.
+    pub fn recovery_ticks(&self, last_fault: SimTime) -> Option<u64> {
+        let last = self.last_grant_at?;
+        (last >= last_fault).then(|| last.since(last_fault))
+    }
+}
+
+/// Runs a campaign and returns the outcome (see [`run_tme_trace`] to also
+/// get the full trace).
+pub fn run_tme(config: &RunConfig) -> RunOutcome {
+    run_tme_trace(config).1
+}
+
+/// Runs a campaign, returning the recorded trace and the outcome.
+pub fn run_tme_trace(config: &RunConfig) -> (Trace, RunOutcome) {
+    let mut sim = build_sim(config);
+    let workload_config = WorkloadConfig {
+        n: config.n,
+        ..config.workload
+    };
+    let workload = Workload::generate(workload_config, config.seed);
+    workload.apply(&mut sim);
+    let horizon = config.effective_horizon(&workload);
+
+    let mut recorder = TraceRecorder::new(&sim);
+    let mut fault_rng = SmallRng::seed_from_u64(config.seed ^ 0xFA11_FA11);
+    let mut pending = config.faults.events().iter().copied().peekable();
+    let mut faults_injected = 0usize;
+
+    loop {
+        let next_event = sim.peek_time();
+        let next_fault = pending.peek().map(|e| e.at);
+        match (next_event, next_fault) {
+            (Some(event_at), Some(fault_at)) if fault_at <= event_at && fault_at <= horizon => {
+                let event = pending.next().expect("peeked");
+                let description = apply_fault(&mut sim, &mut fault_rng, event.kind);
+                recorder.mark_fault(&sim, description.1, description.0);
+                faults_injected += 1;
+            }
+            (Some(event_at), _) if event_at <= horizon => {
+                recorder.step(&mut sim);
+            }
+            (None, Some(fault_at)) if fault_at <= horizon => {
+                let event = pending.next().expect("peeked");
+                let description = apply_fault(&mut sim, &mut fault_rng, event.kind);
+                recorder.mark_fault(&sim, description.1, description.0);
+                faults_injected += 1;
+            }
+            _ => break,
+        }
+    }
+
+    let trace = recorder.into_trace();
+    let report = convergence::analyze(&trace, config.grace);
+    let entries: Vec<u64> = sim.processes().map(|p| p.inner().entries()).collect();
+    let outcome = RunOutcome {
+        verdict: Verdict::from_report(&report),
+        total_entries: entries.iter().sum(),
+        entries,
+        wrapper_resends: sim.processes().map(GrayboxWrapper::resends).sum(),
+        messages_sent: sim.stats().sent,
+        horizon,
+        faults_injected,
+        last_grant_at: last_grant(&trace),
+    };
+    (trace, outcome)
+}
+
+/// Time of the last h → e transition in the trace.
+pub(crate) fn last_grant(trace: &Trace) -> Option<SimTime> {
+    graybox_spec::tme_spec::granted_requests(trace)
+        .iter()
+        .map(|g| g.entry_time)
+        .max()
+}
+
+/// Builds the simulation for a config (for scenario scripts that need to
+/// drive the simulation by hand, like the mid-workload deadlock of F5).
+pub fn build_sim(config: &RunConfig) -> Simulation<Wrapped> {
+    let procs = (0..config.n as u32)
+        .map(|i| {
+            GrayboxWrapper::new(
+                TmeProcess::new(config.implementation, ProcessId(i), config.n),
+                config.wrapper,
+            )
+        })
+        .collect();
+    Simulation::new(
+        procs,
+        SimConfig {
+            seed: config.seed,
+            min_delay: config.delays.0,
+            max_delay: config.delays.1,
+            fifo: config.fifo,
+        },
+    )
+}
+
+/// Applies one fault; returns `(description, affected process)`.
+pub(crate) fn apply_fault(
+    sim: &mut Simulation<Wrapped>,
+    rng: &mut SmallRng,
+    kind: FaultKind,
+) -> (String, ProcessId) {
+    let n = sim.len();
+    let random_pid = |rng: &mut SmallRng| ProcessId(rng.gen_range(0..n as u32));
+    let random_pair = |rng: &mut SmallRng| {
+        let from = rng.gen_range(0..n as u32);
+        let mut to = rng.gen_range(0..n as u32);
+        if n > 1 {
+            while to == from {
+                to = rng.gen_range(0..n as u32);
+            }
+        }
+        (ProcessId(from), ProcessId(to))
+    };
+    let nonempty_channels = |sim: &Simulation<Wrapped>| -> Vec<(ProcessId, ProcessId, usize)> {
+        let mut result = Vec::new();
+        for from in ProcessId::all(n) {
+            for to in ProcessId::all(n) {
+                let len = sim.channel(from, to).len();
+                if len > 0 {
+                    result.push((from, to, len));
+                }
+            }
+        }
+        result
+    };
+
+    match kind {
+        FaultKind::DropMessage => {
+            let channels = nonempty_channels(sim);
+            if channels.is_empty() {
+                return ("drop: no message in flight".into(), ProcessId(0));
+            }
+            let (from, to, len) = channels[rng.gen_range(0..channels.len())];
+            let index = rng.gen_range(0..len);
+            sim.drop_message(from, to, index);
+            (format!("drop message #{index} on {from}→{to}"), to)
+        }
+        FaultKind::DuplicateMessage => {
+            let channels = nonempty_channels(sim);
+            if channels.is_empty() {
+                return ("duplicate: no message in flight".into(), ProcessId(0));
+            }
+            let (from, to, len) = channels[rng.gen_range(0..channels.len())];
+            let index = rng.gen_range(0..len);
+            sim.duplicate_message(from, to, index);
+            (format!("duplicate message #{index} on {from}→{to}"), to)
+        }
+        FaultKind::CorruptMessage => {
+            let channels = nonempty_channels(sim);
+            if channels.is_empty() {
+                return ("corrupt-msg: no message in flight".into(), ProcessId(0));
+            }
+            let (from, to, len) = channels[rng.gen_range(0..channels.len())];
+            let index = rng.gen_range(0..len);
+            sim.corrupt_message(from, to, index);
+            (format!("corrupt message #{index} on {from}→{to}"), to)
+        }
+        FaultKind::InjectGarbage => {
+            let (from, to) = random_pair(rng);
+            let mut payload = TmeMsg::Request(Timestamp::zero(from));
+            payload.corrupt(rng);
+            sim.inject_message(from, to, payload);
+            (format!("inject garbage on {from}→{to}"), to)
+        }
+        FaultKind::FlushChannel => {
+            let (from, to) = random_pair(rng);
+            let lost = sim.flush_channel(from, to);
+            (format!("flush {from}→{to} ({lost} lost)"), to)
+        }
+        FaultKind::CorruptProcess => {
+            let pid = random_pid(rng);
+            sim.corrupt_process(pid);
+            (format!("corrupt state of {pid}"), pid)
+        }
+        FaultKind::ResetProcess => {
+            let pid = random_pid(rng);
+            sim.process_mut(pid).reset();
+            (format!("fail/recover {pid} (reset to Init)"), pid)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_baseline_serves_all_requests() {
+        let config = RunConfig::new(3, Implementation::RicartAgrawala).seed(1);
+        let outcome = run_tme(&config);
+        assert!(outcome.verdict.stabilized);
+        assert_eq!(outcome.verdict.convergence_ticks, Some(0));
+        assert_eq!(outcome.verdict.me1_violations, 0);
+        assert!(outcome.total_entries > 0);
+        assert_eq!(outcome.wrapper_resends, 0);
+        assert_eq!(outcome.faults_injected, 0);
+    }
+
+    #[test]
+    fn wrapped_system_survives_a_mixed_fault_storm() {
+        for implementation in Implementation::ALL {
+            let config = RunConfig::new(3, implementation)
+                .wrapper(WrapperConfig::timeout(8))
+                .faults(FaultPlan::random_mix(3, (40, 200), 10, &FaultKind::ALL))
+                .seed(3);
+            let outcome = run_tme(&config);
+            assert!(
+                outcome.verdict.stabilized,
+                "{implementation} did not stabilize under the storm"
+            );
+            assert_eq!(outcome.verdict.starved, 0, "{implementation} starved");
+        }
+    }
+
+    #[test]
+    fn corruption_burst_requires_the_wrapper() {
+        // With state corruption of every process mid-run, the unwrapped
+        // system frequently deadlocks; the wrapped one must not.
+        let faults = FaultPlan::burst(FaultKind::CorruptProcess, SimTime::from(60), 6);
+        let wrapped = RunConfig::new(3, Implementation::RicartAgrawala)
+            .wrapper(WrapperConfig::timeout(8))
+            .faults(faults.clone())
+            .seed(11);
+        let outcome = run_tme(&wrapped);
+        assert!(
+            outcome.verdict.stabilized,
+            "wrapped run failed to stabilize"
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let config = RunConfig::new(3, Implementation::Lamport)
+            .wrapper(WrapperConfig::timeout(4))
+            .faults(FaultPlan::random_mix(9, (30, 120), 6, &FaultKind::ALL))
+            .seed(9);
+        let a = run_tme(&config);
+        let b = run_tme(&config);
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn horizon_override_is_respected() {
+        let config = RunConfig::new(2, Implementation::RicartAgrawala)
+            .horizon(SimTime::from(50))
+            .seed(2);
+        let outcome = run_tme(&config);
+        assert_eq!(outcome.horizon, SimTime::from(50));
+    }
+}

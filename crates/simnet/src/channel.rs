@@ -1,0 +1,166 @@
+use std::collections::VecDeque;
+
+use graybox_clock::ProcessId;
+
+use crate::SimTime;
+
+/// Unique identity of a message instance, assigned at send (or injection)
+/// time. Duplicated messages get fresh ids so the happened-before recorder
+/// and delivery accounting can tell copies apart.
+pub type MsgId = u64;
+
+/// A message in flight: payload plus routing and identity metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Unique id of this message instance.
+    pub id: MsgId,
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// The protocol payload.
+    pub payload: M,
+    /// When the message was sent (or injected).
+    pub sent_at: SimTime,
+}
+
+/// A FIFO interprocess channel (one per ordered process pair).
+///
+/// The Communication Spec requires FIFO order; the simulator preserves it
+/// by scheduling per-channel delivery times monotonically and always
+/// delivering the queue head. Fault injection manipulates the queue
+/// directly: dropping, duplicating, corrupting, injecting, or flushing.
+#[derive(Debug, Clone)]
+pub struct Channel<M> {
+    queue: VecDeque<Envelope<M>>,
+    last_scheduled: SimTime,
+}
+
+impl<M> Default for Channel<M> {
+    fn default() -> Self {
+        Channel {
+            queue: VecDeque::new(),
+            last_scheduled: SimTime::ZERO,
+        }
+    }
+}
+
+impl<M> Channel<M> {
+    /// Creates an empty channel (the paper's `Init` requires all channels
+    /// empty; fault injection can violate that afterwards).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Messages currently in flight, head first.
+    pub fn messages(&self) -> impl Iterator<Item = &Envelope<M>> {
+        self.queue.iter()
+    }
+
+    /// Number of in-flight messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    pub(crate) fn push_back(&mut self, envelope: Envelope<M>) {
+        self.queue.push_back(envelope);
+    }
+
+    pub(crate) fn pop_front(&mut self) -> Option<Envelope<M>> {
+        self.queue.pop_front()
+    }
+
+    pub(crate) fn remove(&mut self, index: usize) -> Option<Envelope<M>> {
+        self.queue.remove(index)
+    }
+
+    pub(crate) fn get_mut(&mut self, index: usize) -> Option<&mut Envelope<M>> {
+        self.queue.get_mut(index)
+    }
+
+    pub(crate) fn get(&self, index: usize) -> Option<&Envelope<M>> {
+        self.queue.get(index)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Computes the next delivery time honouring FIFO: at least `proposed`,
+    /// and never earlier than a previously scheduled delivery.
+    pub(crate) fn schedule(&mut self, proposed: SimTime) -> SimTime {
+        let time = proposed.max(self.last_scheduled);
+        self.last_scheduled = time;
+        time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(id: MsgId, payload: &str) -> Envelope<String> {
+        Envelope {
+            id,
+            from: ProcessId(0),
+            to: ProcessId(1),
+            payload: payload.to_string(),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut ch = Channel::new();
+        ch.push_back(env(1, "a"));
+        ch.push_back(env(2, "b"));
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.pop_front().unwrap().payload, "a");
+        assert_eq!(ch.pop_front().unwrap().payload, "b");
+        assert!(ch.pop_front().is_none());
+    }
+
+    #[test]
+    fn schedule_is_monotone() {
+        let mut ch: Channel<String> = Channel::new();
+        let t1 = ch.schedule(SimTime::from(10));
+        let t2 = ch.schedule(SimTime::from(5)); // earlier proposal bumped
+        let t3 = ch.schedule(SimTime::from(20));
+        assert_eq!(t1, SimTime::from(10));
+        assert_eq!(t2, SimTime::from(10));
+        assert_eq!(t3, SimTime::from(20));
+    }
+
+    #[test]
+    fn remove_targets_by_index() {
+        let mut ch = Channel::new();
+        ch.push_back(env(1, "a"));
+        ch.push_back(env(2, "b"));
+        ch.push_back(env(3, "c"));
+        let removed = ch.remove(1).unwrap();
+        assert_eq!(removed.payload, "b");
+        let rest: Vec<_> = ch.messages().map(|e| e.payload.clone()).collect();
+        assert_eq!(rest, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn clear_empties_the_channel() {
+        let mut ch = Channel::new();
+        ch.push_back(env(1, "a"));
+        ch.clear();
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_corruption() {
+        let mut ch = Channel::new();
+        ch.push_back(env(1, "a"));
+        ch.get_mut(0).unwrap().payload = "garbage".to_string();
+        assert_eq!(ch.get(0).unwrap().payload, "garbage");
+    }
+}

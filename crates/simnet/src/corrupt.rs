@@ -1,0 +1,60 @@
+use rand::RngCore;
+
+/// Arbitrary transient state corruption, the paper's strongest fault.
+///
+/// The fault model of §3.1 allows process (and channel) state to be
+/// "transiently (and arbitrarily) corrupted at any time". Implementing
+/// `Corruptible` means: overwrite the state with *some type-valid value*
+/// drawn from the RNG — the standard interpretation of arbitrary
+/// corruption (a variable always holds some value of its domain).
+///
+/// Implementations must not touch identity fields that the substrate
+/// relies on for routing (a process keeps its [`ProcessId`]); everything
+/// else is fair game, including logical clocks, mode flags, request
+/// timestamps, and local copies of remote state.
+///
+/// [`ProcessId`]: graybox_clock::ProcessId
+pub trait Corruptible {
+    /// Overwrites this value with arbitrary type-valid content.
+    fn corrupt(&mut self, rng: &mut dyn RngCore);
+}
+
+impl Corruptible for u64 {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        *self = rng.next_u64();
+    }
+}
+
+impl Corruptible for bool {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        *self = rng.next_u32() & 1 == 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn primitive_corruption_is_seed_deterministic() {
+        let mut a = 0u64;
+        let mut b = 0u64;
+        a.corrupt(&mut SmallRng::seed_from_u64(1));
+        b.corrupt(&mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bool_corruption_covers_both_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            let mut flag = false;
+            flag.corrupt(&mut rng);
+            seen[usize::from(flag)] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

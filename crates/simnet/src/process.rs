@@ -1,0 +1,133 @@
+use std::fmt;
+
+use graybox_clock::ProcessId;
+
+use crate::SimTime;
+
+/// Tag distinguishing the timers a process arms. Wrappers use tags from
+/// [`TimerTag::WRAPPER_BASE`] upward to avoid colliding with the wrapped
+/// protocol's own timers.
+pub type TimerTag = u32;
+
+/// Reserved timer-tag namespace helpers.
+pub trait TimerTagExt {
+    /// First tag reserved for wrappers.
+    const WRAPPER_BASE: TimerTag = 1 << 16;
+}
+
+impl TimerTagExt for TimerTag {}
+
+/// An event-driven process in the simulated message-passing system.
+///
+/// Handlers receive a [`Context`] through which the process sends messages
+/// and arms timers; all actions take effect when the handler returns (the
+/// handler runs as one atomic step, matching the guarded-command model).
+pub trait Process {
+    /// Protocol message payload type.
+    type Msg: Clone + fmt::Debug;
+    /// Client (application) event type, e.g. "request the critical section".
+    type Client: Clone + fmt::Debug;
+
+    /// This process's identity.
+    fn id(&self) -> ProcessId;
+
+    /// Called once at simulation start (time 0), before any other event.
+    /// The default does nothing; protocols use it to arm heartbeat timers.
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Handles delivery of `msg` from `from`.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+
+    /// Handles expiry of a timer previously armed with `tag`.
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<Self::Msg>);
+
+    /// Handles a client event (the paper's Client Spec actions).
+    fn on_client(&mut self, event: Self::Client, ctx: &mut Context<Self::Msg>);
+}
+
+/// Action collector passed to [`Process`] handlers.
+///
+/// Sends and timers requested through the context are applied by the
+/// simulator after the handler returns, keeping each handler an atomic
+/// step.
+#[derive(Debug)]
+pub struct Context<M> {
+    now: SimTime,
+    self_id: ProcessId,
+    pub(crate) outgoing: Vec<(ProcessId, M)>,
+    pub(crate) timers: Vec<(TimerTag, u64)>,
+}
+
+impl<M> Context<M> {
+    pub(crate) fn new(now: SimTime, self_id: ProcessId) -> Self {
+        Context {
+            now,
+            self_id,
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Creates a context not attached to any simulation, for unit-testing
+    /// process handlers in isolation: collected sends and timers go
+    /// nowhere, but are inspectable via [`drain_sends`](Context::drain_sends).
+    pub fn detached(now: SimTime, self_id: ProcessId) -> Self {
+        Context::new(now, self_id)
+    }
+
+    /// Drains and returns the sends collected so far (testing aid).
+    pub fn drain_sends(&mut self) -> Vec<(ProcessId, M)> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The identity of the process this context belongs to.
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// Queues `msg` for sending to `to` when the handler returns.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outgoing.push((to, msg));
+    }
+
+    /// Arms a timer that fires `delay` ticks from now with the given tag.
+    pub fn set_timer(&mut self, tag: TimerTag, delay: u64) {
+        self.timers.push((tag, delay));
+    }
+
+    /// Number of sends queued so far in this handler.
+    pub fn pending_sends(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_actions() {
+        let mut ctx: Context<&'static str> = Context::new(SimTime::from(5), ProcessId(2));
+        assert_eq!(ctx.now(), SimTime::from(5));
+        assert_eq!(ctx.self_id(), ProcessId(2));
+        ctx.send(ProcessId(0), "hello");
+        ctx.send(ProcessId(1), "world");
+        ctx.set_timer(3, 10);
+        assert_eq!(ctx.pending_sends(), 2);
+        assert_eq!(ctx.outgoing.len(), 2);
+        assert_eq!(ctx.timers, vec![(3, 10)]);
+    }
+
+    #[test]
+    fn wrapper_tag_namespace_is_disjoint_from_small_tags() {
+        let base = TimerTag::WRAPPER_BASE;
+        assert!(base > 1000);
+    }
+}

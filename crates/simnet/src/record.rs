@@ -1,0 +1,105 @@
+use graybox_clock::ProcessId;
+
+use crate::{MsgId, SimTime, TimerTag};
+
+/// A message send performed during a step, for trace checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRecord<M> {
+    /// Id assigned to the sent message.
+    pub msg_id: MsgId,
+    /// The receiver.
+    pub to: ProcessId,
+    /// The payload as sent.
+    pub payload: M,
+}
+
+/// What kind of event a step processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepKind<C, M> {
+    /// A message was delivered to the acting process.
+    Deliver {
+        /// The sender recorded on the envelope.
+        from: ProcessId,
+        /// Unique id of the delivered message instance.
+        msg_id: MsgId,
+        /// The payload as delivered.
+        payload: M,
+    },
+    /// A timer armed by the acting process fired.
+    Timer {
+        /// The tag the timer was armed with.
+        tag: TimerTag,
+    },
+    /// A client event was delivered to the acting process.
+    Client {
+        /// The client event.
+        event: C,
+    },
+    /// The process's one-time start hook ran (time 0).
+    Start,
+    /// A scheduled delivery found its channel empty (its message was
+    /// dropped or flushed by fault injection); nothing happened.
+    Skipped,
+}
+
+/// Record of one simulator step: which process acted on what, and which
+/// actions (sends, timers) it performed. The trace checkers consume these
+/// together with state snapshots taken after each step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord<C, M> {
+    /// Virtual time of the step.
+    pub time: SimTime,
+    /// The process that acted.
+    pub pid: ProcessId,
+    /// What the step processed.
+    pub kind: StepKind<C, M>,
+    /// Messages sent by the handler, in order.
+    pub sends: Vec<SendRecord<M>>,
+    /// Timers armed by the handler: `(tag, fire_time)`.
+    pub timers_set: Vec<(TimerTag, SimTime)>,
+}
+
+impl<C, M> StepRecord<C, M> {
+    /// True when this step actually executed a handler (i.e. was not a
+    /// skipped stale delivery).
+    pub fn acted(&self) -> bool {
+        !matches!(self.kind, StepKind::Skipped)
+    }
+
+    /// True when the step delivered a message.
+    pub fn is_delivery(&self) -> bool {
+        matches!(self.kind, StepKind::Deliver { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acted_distinguishes_skips() {
+        let step: StepRecord<(), ()> = StepRecord {
+            time: SimTime::ZERO,
+            pid: ProcessId(0),
+            kind: StepKind::Skipped,
+            sends: vec![],
+            timers_set: vec![],
+        };
+        assert!(!step.acted());
+        assert!(!step.is_delivery());
+
+        let step: StepRecord<(), &str> = StepRecord {
+            time: SimTime::ZERO,
+            pid: ProcessId(0),
+            kind: StepKind::Deliver {
+                from: ProcessId(1),
+                msg_id: 7,
+                payload: "x",
+            },
+            sends: vec![],
+            timers_set: vec![],
+        };
+        assert!(step.acted());
+        assert!(step.is_delivery());
+    }
+}

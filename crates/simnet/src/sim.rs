@@ -1,0 +1,700 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use graybox_clock::ProcessId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    Channel, Context, Corruptible, Envelope, MsgId, Process, SendRecord, SimTime, StepKind,
+    StepRecord, TimerTag,
+};
+
+/// Configuration of a simulation run.
+///
+/// `seed` drives *all* pseudo-randomness (message delays and fault
+/// randomness), making runs bit-for-bit reproducible. Message delays are
+/// drawn uniformly from `min_delay..=max_delay` ticks, modelling the
+/// paper's "arbitrary but finite transmission delays".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Seed for the simulation's RNG.
+    pub seed: u64,
+    /// Minimum message delay in ticks (clamped to at least 1).
+    pub min_delay: u64,
+    /// Maximum message delay in ticks (clamped to at least `min_delay`).
+    pub max_delay: u64,
+    /// Whether channels deliver in FIFO order (the paper's Communication
+    /// Spec). Setting this to `false` delivers a *random* in-flight
+    /// message per delivery event — for ablating how load-bearing the
+    /// FIFO assumption is (experiment T10).
+    pub fifo: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            min_delay: 1,
+            max_delay: 8,
+            fifo: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with the given seed and default delays.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    fn delay_range(&self) -> (u64, u64) {
+        let min = self.min_delay.max(1);
+        let max = self.max_delay.max(min);
+        (min, max)
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<C> {
+    Deliver { from: ProcessId, to: ProcessId },
+    Timer { pid: ProcessId, tag: TimerTag },
+    Client { pid: ProcessId, event: C },
+    Start { pid: ProcessId },
+}
+
+#[derive(Debug)]
+struct Scheduled<C> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<C>,
+}
+
+impl<C> PartialEq for Scheduled<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<C> Eq for Scheduled<C> {}
+impl<C> PartialOrd for Scheduled<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C> Ord for Scheduled<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Cumulative delivery statistics of a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages sent by processes (incl. wrappers), plus injected ones.
+    pub sent: u64,
+    /// Messages delivered to handlers.
+    pub delivered: u64,
+    /// Scheduled deliveries that found their channel empty (message was
+    /// dropped/flushed).
+    pub skipped: u64,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// Owns the processes, the FIFO channels between every ordered pair, and
+/// the event queue. See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulation<P: Process> {
+    processes: Vec<P>,
+    channels: Vec<Vec<Channel<P::Msg>>>,
+    queue: BinaryHeap<Scheduled<P::Client>>,
+    now: SimTime,
+    seq: u64,
+    next_msg_id: MsgId,
+    rng: SmallRng,
+    config: SimConfig,
+    stats: SimStats,
+}
+
+impl<P: Process> Simulation<P> {
+    /// Creates a simulation over the given processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process at index `i` does not report `ProcessId(i)` —
+    /// the substrate routes by index.
+    pub fn new(processes: Vec<P>, config: SimConfig) -> Self {
+        for (index, process) in processes.iter().enumerate() {
+            assert_eq!(
+                process.id().index(),
+                index,
+                "process at index {index} must have ProcessId({index})"
+            );
+        }
+        let n = processes.len();
+        let mut sim = Simulation {
+            processes,
+            channels: (0..n)
+                .map(|_| (0..n).map(|_| Channel::new()).collect())
+                .collect(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_msg_id: 1,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            stats: SimStats::default(),
+        };
+        for pid in ProcessId::all(n) {
+            sim.push_event(SimTime::ZERO, EventKind::Start { pid });
+        }
+        sim
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True when the simulation has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cumulative delivery statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Read access to a process.
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.processes[pid.index()]
+    }
+
+    /// Mutable access to a process (used by fault injectors and tests;
+    /// protocol logic only runs through events).
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut P {
+        &mut self.processes[pid.index()]
+    }
+
+    /// Iterates over all processes.
+    pub fn processes(&self) -> impl Iterator<Item = &P> {
+        self.processes.iter()
+    }
+
+    /// Read access to the FIFO channel `from → to`.
+    pub fn channel(&self, from: ProcessId, to: ProcessId) -> &Channel<P::Msg> {
+        &self.channels[from.index()][to.index()]
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|scheduled| scheduled.time)
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<P::Client>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    /// Schedules a client event for `pid` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not name a process of this simulation (a
+    /// workload/simulation size mismatch).
+    pub fn schedule_client(&mut self, at: SimTime, pid: ProcessId, event: P::Client) {
+        assert!(
+            pid.index() < self.processes.len(),
+            "client event for {pid} but the simulation has {} processes",
+            self.processes.len()
+        );
+        self.push_event(at, EventKind::Client { pid, event });
+    }
+
+    fn random_delay(&mut self) -> u64 {
+        let (min, max) = self.config.delay_range();
+        self.rng.gen_range(min..=max)
+    }
+
+    fn enqueue_envelope(&mut self, from: ProcessId, to: ProcessId, payload: P::Msg) -> MsgId {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let delay = self.random_delay();
+        let proposed = self.now + delay;
+        let deliver_at = self.channels[from.index()][to.index()].schedule(proposed);
+        self.channels[from.index()][to.index()].push_back(Envelope {
+            id,
+            from,
+            to,
+            payload,
+            sent_at: self.now,
+        });
+        self.push_event(deliver_at, EventKind::Deliver { from, to });
+        self.stats.sent += 1;
+        id
+    }
+
+    /// Executes the next event and returns its record; `None` when the
+    /// event queue is empty.
+    pub fn step(&mut self) -> Option<StepRecord<P::Client, P::Msg>> {
+        let scheduled = self.queue.pop()?;
+        self.now = self.now.max(scheduled.time);
+        let (pid, kind, ctx) = match scheduled.kind {
+            EventKind::Deliver { from, to } => {
+                let popped = if self.config.fifo {
+                    self.channels[from.index()][to.index()].pop_front()
+                } else {
+                    let len = self.channels[from.index()][to.index()].len();
+                    if len == 0 {
+                        None
+                    } else {
+                        let index = self.rng.gen_range(0..len);
+                        self.channels[from.index()][to.index()].remove(index)
+                    }
+                };
+                match popped {
+                    None => {
+                        self.stats.skipped += 1;
+                        return Some(StepRecord {
+                            time: self.now,
+                            pid: to,
+                            kind: StepKind::Skipped,
+                            sends: Vec::new(),
+                            timers_set: Vec::new(),
+                        });
+                    }
+                    Some(envelope) => {
+                        self.stats.delivered += 1;
+                        let mut ctx = Context::new(self.now, to);
+                        self.processes[to.index()].on_message(
+                            envelope.from,
+                            envelope.payload.clone(),
+                            &mut ctx,
+                        );
+                        (
+                            to,
+                            StepKind::Deliver {
+                                from: envelope.from,
+                                msg_id: envelope.id,
+                                payload: envelope.payload,
+                            },
+                            ctx,
+                        )
+                    }
+                }
+            }
+            EventKind::Timer { pid, tag } => {
+                let mut ctx = Context::new(self.now, pid);
+                self.processes[pid.index()].on_timer(tag, &mut ctx);
+                (pid, StepKind::Timer { tag }, ctx)
+            }
+            EventKind::Client { pid, event } => {
+                let mut ctx = Context::new(self.now, pid);
+                self.processes[pid.index()].on_client(event.clone(), &mut ctx);
+                (pid, StepKind::Client { event }, ctx)
+            }
+            EventKind::Start { pid } => {
+                let mut ctx = Context::new(self.now, pid);
+                self.processes[pid.index()].on_start(&mut ctx);
+                (pid, StepKind::Start, ctx)
+            }
+        };
+        Some(self.apply_actions(pid, kind, ctx))
+    }
+
+    fn apply_actions(
+        &mut self,
+        pid: ProcessId,
+        kind: StepKind<P::Client, P::Msg>,
+        ctx: Context<P::Msg>,
+    ) -> StepRecord<P::Client, P::Msg> {
+        let Context {
+            outgoing, timers, ..
+        } = ctx;
+        let mut sends = Vec::with_capacity(outgoing.len());
+        for (to, payload) in outgoing {
+            let msg_id = self.enqueue_envelope(pid, to, payload.clone());
+            sends.push(SendRecord {
+                msg_id,
+                to,
+                payload,
+            });
+        }
+        let mut timers_set = Vec::with_capacity(timers.len());
+        for (tag, delay) in timers {
+            // Zero-delay timers would let a re-arming handler freeze
+            // virtual time; clamp to one tick.
+            let fire_at = self.now + delay.max(1);
+            self.push_event(fire_at, EventKind::Timer { pid, tag });
+            timers_set.push((tag, fire_at));
+        }
+        StepRecord {
+            time: self.now,
+            pid,
+            kind,
+            sends,
+            timers_set,
+        }
+    }
+
+    /// Runs until the next event would be after `limit` (or the queue is
+    /// empty), collecting the step records.
+    pub fn run_until(&mut self, limit: SimTime) -> Vec<StepRecord<P::Client, P::Msg>> {
+        let mut records = Vec::new();
+        while matches!(self.peek_time(), Some(time) if time <= limit) {
+            if let Some(record) = self.step() {
+                records.push(record);
+            }
+        }
+        records
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the §3.1 fault model).
+    // ------------------------------------------------------------------
+
+    /// Injects a message into channel `from → to` — used both for the
+    /// "channels improperly initialized" fault and for garbage injection.
+    /// Returns the fresh message id.
+    pub fn inject_message(&mut self, from: ProcessId, to: ProcessId, payload: P::Msg) -> MsgId {
+        self.enqueue_envelope(from, to, payload)
+    }
+
+    /// Drops the `index`-th in-flight message of channel `from → to`
+    /// (message loss). Returns the dropped payload, if the index existed.
+    pub fn drop_message(&mut self, from: ProcessId, to: ProcessId, index: usize) -> Option<P::Msg> {
+        self.channels[from.index()][to.index()]
+            .remove(index)
+            .map(|envelope| envelope.payload)
+    }
+
+    /// Duplicates the `index`-th in-flight message of channel `from → to`
+    /// (message duplication). The copy gets a fresh id and its own
+    /// delivery schedule. Returns the copy's id if the index existed.
+    pub fn duplicate_message(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        index: usize,
+    ) -> Option<MsgId> {
+        let payload = self.channels[from.index()][to.index()]
+            .get(index)
+            .map(|envelope| envelope.payload.clone())?;
+        Some(self.enqueue_envelope(from, to, payload))
+    }
+
+    /// Rewrites the `index`-th in-flight message of channel `from → to`
+    /// with the given mutation (message corruption). Returns true if the
+    /// index existed.
+    pub fn mutate_message(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        index: usize,
+        mutate: impl FnOnce(&mut P::Msg),
+    ) -> bool {
+        match self.channels[from.index()][to.index()].get_mut(index) {
+            Some(envelope) => {
+                mutate(&mut envelope.payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flushes channel `from → to`, losing everything in flight. Returns
+    /// the number of messages lost.
+    pub fn flush_channel(&mut self, from: ProcessId, to: ProcessId) -> usize {
+        let lost = self.channels[from.index()][to.index()].len();
+        self.channels[from.index()][to.index()].clear();
+        lost
+    }
+
+    /// Number of messages currently in flight across all channels.
+    pub fn in_flight(&self) -> usize {
+        self.channels
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(Channel::len)
+            .sum()
+    }
+}
+
+impl<P: Process + Corruptible> Simulation<P> {
+    /// Transiently corrupts the state of `pid` with arbitrary type-valid
+    /// values (the paper's strongest process fault).
+    pub fn corrupt_process(&mut self, pid: ProcessId) {
+        let Simulation { processes, rng, .. } = self;
+        processes[pid.index()].corrupt(rng);
+    }
+}
+
+impl<P: Process> Simulation<P>
+where
+    P::Msg: Corruptible,
+{
+    /// Corrupts the payload of the `index`-th in-flight message of channel
+    /// `from → to` with arbitrary type-valid content. Returns true if the
+    /// index existed.
+    pub fn corrupt_message(&mut self, from: ProcessId, to: ProcessId, index: usize) -> bool {
+        let Simulation { channels, rng, .. } = self;
+        match channels[from.index()][to.index()].get_mut(index) {
+            Some(envelope) => {
+                envelope.payload.corrupt(rng);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test process: counts deliveries; replies "pong" to "ping"; a timer
+    /// with tag 9 re-arms once.
+    #[derive(Debug)]
+    struct Node {
+        id: ProcessId,
+        received: Vec<(ProcessId, String)>,
+        timer_fires: u32,
+    }
+
+    impl Node {
+        fn new(id: u32) -> Self {
+            Node {
+                id: ProcessId(id),
+                received: Vec::new(),
+                timer_fires: 0,
+            }
+        }
+    }
+
+    impl Process for Node {
+        type Msg = String;
+        type Client = String;
+
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: String, ctx: &mut Context<String>) {
+            if msg == "ping" {
+                ctx.send(from, "pong".to_string());
+            }
+            self.received.push((from, msg));
+        }
+
+        fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<String>) {
+            self.timer_fires += 1;
+            if tag == 9 && self.timer_fires == 1 {
+                ctx.set_timer(9, 5);
+            }
+        }
+
+        fn on_client(&mut self, event: String, ctx: &mut Context<String>) {
+            // Broadcast the event body to everyone else.
+            for other in 0..2u32 {
+                if ProcessId(other) != self.id {
+                    ctx.send(ProcessId(other), event.clone());
+                }
+            }
+            let _ = ctx;
+        }
+    }
+
+    fn two_nodes(seed: u64) -> Simulation<Node> {
+        Simulation::new(vec![Node::new(0), Node::new(1)], SimConfig::with_seed(seed))
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = two_nodes(1);
+        sim.inject_message(ProcessId(1), ProcessId(0), "ping".into());
+        sim.run_until(SimTime::from(100));
+        assert_eq!(sim.process(ProcessId(0)).received.len(), 1);
+        assert_eq!(
+            sim.process(ProcessId(1)).received,
+            vec![(ProcessId(0), "pong".to_string())]
+        );
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn fifo_order_survives_random_delays() {
+        let mut sim = two_nodes(7);
+        for i in 0..20 {
+            sim.inject_message(ProcessId(0), ProcessId(1), format!("m{i}"));
+        }
+        sim.run_until(SimTime::from(10_000));
+        let got: Vec<String> = sim
+            .process(ProcessId(1))
+            .received
+            .iter()
+            .map(|(_, m)| m.clone())
+            .collect();
+        let expected: Vec<String> = (0..20).map(|i| format!("m{i}")).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = two_nodes(seed);
+            sim.schedule_client(SimTime::from(1), ProcessId(0), "hello".into());
+            sim.inject_message(ProcessId(1), ProcessId(0), "ping".into());
+            sim.run_until(SimTime::from(500))
+                .iter()
+                .map(|r| (r.time, r.pid, format!("{:?}", r.kind)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43)); // delays differ
+    }
+
+    #[test]
+    fn dropped_message_is_never_delivered() {
+        let mut sim = two_nodes(3);
+        sim.inject_message(ProcessId(0), ProcessId(1), "lost".into());
+        assert_eq!(
+            sim.drop_message(ProcessId(0), ProcessId(1), 0),
+            Some("lost".into())
+        );
+        let records = sim.run_until(SimTime::from(100));
+        assert!(records.iter().any(|r| matches!(r.kind, StepKind::Skipped)));
+        assert!(sim.process(ProcessId(1)).received.is_empty());
+        assert_eq!(sim.stats().skipped, 1);
+    }
+
+    #[test]
+    fn duplicated_message_is_delivered_twice() {
+        let mut sim = two_nodes(4);
+        sim.inject_message(ProcessId(0), ProcessId(1), "dup".into());
+        assert!(sim
+            .duplicate_message(ProcessId(0), ProcessId(1), 0)
+            .is_some());
+        sim.run_until(SimTime::from(100));
+        assert_eq!(sim.process(ProcessId(1)).received.len(), 2);
+    }
+
+    #[test]
+    fn mutate_message_corrupts_in_place() {
+        let mut sim = two_nodes(5);
+        sim.inject_message(ProcessId(0), ProcessId(1), "clean".into());
+        assert!(sim.mutate_message(ProcessId(0), ProcessId(1), 0, |m| *m = "dirty".into()));
+        sim.run_until(SimTime::from(100));
+        assert_eq!(sim.process(ProcessId(1)).received[0].1, "dirty");
+        assert!(!sim.mutate_message(ProcessId(0), ProcessId(1), 5, |_| {}));
+    }
+
+    #[test]
+    fn flush_loses_everything_in_flight() {
+        let mut sim = two_nodes(6);
+        for _ in 0..5 {
+            sim.inject_message(ProcessId(0), ProcessId(1), "x".into());
+        }
+        assert_eq!(sim.in_flight(), 5);
+        assert_eq!(sim.flush_channel(ProcessId(0), ProcessId(1)), 5);
+        assert_eq!(sim.in_flight(), 0);
+        sim.run_until(SimTime::from(100));
+        assert!(sim.process(ProcessId(1)).received.is_empty());
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut sim = two_nodes(8);
+        // Arm via a handler: deliver a client event that sets no timer, then
+        // arm manually through a message … simplest: use on_timer's re-arm.
+        // Seed the first timer by scheduling a client event that the node
+        // broadcasts; instead directly exercise set_timer through ctx by
+        // stepping a synthetic timer event.
+        sim.push_event(
+            SimTime::from(1),
+            EventKind::Timer {
+                pid: ProcessId(0),
+                tag: 9,
+            },
+        );
+        sim.run_until(SimTime::from(100));
+        assert_eq!(sim.process(ProcessId(0)).timer_fires, 2); // fired + re-armed once
+    }
+
+    #[test]
+    fn client_events_reach_the_process() {
+        let mut sim = two_nodes(9);
+        sim.schedule_client(SimTime::from(2), ProcessId(0), "announce".into());
+        sim.run_until(SimTime::from(200));
+        assert_eq!(
+            sim.process(ProcessId(1)).received,
+            vec![(ProcessId(0), "announce".to_string())]
+        );
+    }
+
+    #[test]
+    fn records_capture_sends_and_kinds() {
+        let mut sim = two_nodes(10);
+        sim.schedule_client(SimTime::from(1), ProcessId(0), "x".into());
+        let records = sim.run_until(SimTime::from(200));
+        let client_step = records
+            .iter()
+            .find(|r| matches!(r.kind, StepKind::Client { .. }))
+            .unwrap();
+        assert_eq!(client_step.pid, ProcessId(0));
+        assert_eq!(client_step.sends.len(), 1);
+        assert!(records.iter().any(|r| r.is_delivery()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must have ProcessId")]
+    fn mismatched_ids_panic() {
+        let _ = Simulation::new(vec![Node::new(1)], SimConfig::default());
+    }
+
+    #[test]
+    fn zero_delay_timer_cannot_freeze_time() {
+        #[derive(Debug)]
+        struct Rearm(ProcessId, u32);
+        impl Process for Rearm {
+            type Msg = ();
+            type Client = ();
+            fn id(&self) -> ProcessId {
+                self.0
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<()>) {}
+            fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<()>) {
+                self.1 += 1;
+                ctx.set_timer(tag, 0); // pathological: re-arm with zero delay
+            }
+            fn on_client(&mut self, _: (), _: &mut Context<()>) {}
+        }
+        let mut sim = Simulation::new(vec![Rearm(ProcessId(0), 0)], SimConfig::default());
+        sim.push_event(
+            SimTime::from(1),
+            EventKind::Timer {
+                pid: ProcessId(0),
+                tag: 1,
+            },
+        );
+        sim.run_until(SimTime::from(50));
+        // Clamped to 1 tick per firing: bounded count, time advanced.
+        assert!(sim.process(ProcessId(0)).1 <= 50);
+        assert!(sim.now() >= SimTime::from(49));
+    }
+}

@@ -1,0 +1,103 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Virtual simulation time, in abstract ticks.
+///
+/// The simulator is a discrete-event system; `SimTime` only orders events
+/// and measures intervals (e.g. convergence times). It has no relation to
+/// wall-clock time.
+///
+/// # Example
+///
+/// ```
+/// use graybox_simnet::SimTime;
+///
+/// let t = SimTime::from(10) + 5;
+/// assert_eq!(t, SimTime::from(15));
+/// assert_eq!(t - SimTime::from(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks (`self - earlier`, 0 if negative).
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, ticks: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ticks))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ticks: u64) {
+        self.0 = self.0.saturating_add(ticks);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, earlier: SimTime) -> u64 {
+        self.since(earlier)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from(3) + 4;
+        assert_eq!(t.ticks(), 7);
+        assert_eq!(t - SimTime::from(3), 4);
+        assert_eq!(SimTime::from(3) - SimTime::from(7), 0); // saturating
+    }
+
+    #[test]
+    fn ordering_is_by_ticks() {
+        assert!(SimTime::from(1) < SimTime::from(2));
+        assert_eq!(SimTime::ZERO, SimTime::from(0));
+        assert_eq!(SimTime::from(5).max(SimTime::from(3)), SimTime::from(5));
+    }
+
+    #[test]
+    fn add_saturates() {
+        let t = SimTime::from(u64::MAX) + 1;
+        assert_eq!(t.ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(SimTime::from(42).to_string(), "t42");
+    }
+}

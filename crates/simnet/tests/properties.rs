@@ -1,0 +1,144 @@
+//! Property-based tests for the simulator substrate: FIFO under faults,
+//! determinism, and delivery accounting.
+
+use graybox_clock::ProcessId;
+use graybox_simnet::{Context, Process, SimConfig, SimTime, Simulation};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug)]
+struct Sink {
+    id: ProcessId,
+    received: Vec<u64>,
+}
+
+impl Process for Sink {
+    type Msg = u64;
+    type Client = ();
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+    fn on_message(&mut self, _: ProcessId, msg: u64, _: &mut Context<u64>) {
+        self.received.push(msg);
+    }
+    fn on_timer(&mut self, _: u32, _: &mut Context<u64>) {}
+    fn on_client(&mut self, _: (), _: &mut Context<u64>) {}
+}
+
+fn two_sinks(seed: u64, max_delay: u64) -> Simulation<Sink> {
+    Simulation::new(
+        vec![
+            Sink {
+                id: ProcessId(0),
+                received: vec![],
+            },
+            Sink {
+                id: ProcessId(1),
+                received: vec![],
+            },
+        ],
+        SimConfig {
+            seed,
+            min_delay: 1,
+            max_delay,
+            fifo: true,
+        },
+    )
+}
+
+fn is_subsequence(needle: &[u64], haystack: &[u64]) -> bool {
+    let mut iter = haystack.iter();
+    needle.iter().all(|n| iter.any(|h| h == n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fifo_survives_random_drops(seed in 0u64..500, count in 1usize..25, drops in 0usize..10) {
+        let mut sim = two_sinks(seed, 12);
+        for i in 0..count as u64 {
+            sim.inject_message(ProcessId(0), ProcessId(1), i);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD0);
+        for _ in 0..drops {
+            let len = sim.channel(ProcessId(0), ProcessId(1)).len();
+            if len > 0 {
+                sim.drop_message(ProcessId(0), ProcessId(1), rng.gen_range(0..len));
+            }
+        }
+        sim.run_until(SimTime::from(10_000));
+        let received = &sim.process(ProcessId(1)).received;
+        // Delivered messages are an in-order subsequence of the sends.
+        let sent: Vec<u64> = (0..count as u64).collect();
+        prop_assert!(is_subsequence(received, &sent), "{received:?} not a subsequence");
+        prop_assert!(received.len() + drops.min(count) >= count);
+    }
+
+    #[test]
+    fn duplicates_preserve_order_of_first_copies(seed in 0u64..300, count in 1usize..15) {
+        let mut sim = two_sinks(seed, 8);
+        for i in 0..count as u64 {
+            sim.inject_message(ProcessId(0), ProcessId(1), i);
+        }
+        // Duplicate the head a few times.
+        sim.duplicate_message(ProcessId(0), ProcessId(1), 0);
+        sim.duplicate_message(ProcessId(0), ProcessId(1), 0);
+        sim.run_until(SimTime::from(10_000));
+        let received = &sim.process(ProcessId(1)).received;
+        prop_assert_eq!(received.len(), count + 2);
+        // First occurrences still appear in order.
+        let mut firsts = Vec::new();
+        for &m in received {
+            if !firsts.contains(&m) {
+                firsts.push(m);
+            }
+        }
+        let sent: Vec<u64> = (0..count as u64).collect();
+        prop_assert_eq!(firsts, sent);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical(seed in 0u64..300) {
+        let run = |seed| {
+            let mut sim = two_sinks(seed, 10);
+            for i in 0..10u64 {
+                sim.inject_message(ProcessId(0), ProcessId(1), i);
+                sim.inject_message(ProcessId(1), ProcessId(0), 100 + i);
+            }
+            let records: Vec<String> = sim
+                .run_until(SimTime::from(5_000))
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            (records, sim.stats())
+        };
+        let (ra, sa) = run(seed);
+        let (rb, sb) = run(seed);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn stats_add_up(seed in 0u64..300, count in 1usize..20, flush_at in 0usize..20) {
+        let mut sim = two_sinks(seed, 6);
+        for i in 0..count as u64 {
+            sim.inject_message(ProcessId(0), ProcessId(1), i);
+        }
+        let flushed = if flush_at < count {
+            // Deliver a few, then flush the rest.
+            for _ in 0..flush_at {
+                sim.step();
+            }
+            sim.flush_channel(ProcessId(0), ProcessId(1))
+        } else {
+            0
+        };
+        sim.run_until(SimTime::from(10_000));
+        let stats = sim.stats();
+        prop_assert_eq!(stats.sent as usize, count);
+        prop_assert_eq!(stats.delivered as usize + flushed, count);
+        prop_assert_eq!(stats.skipped as usize, flushed);
+    }
+}

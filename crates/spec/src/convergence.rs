@@ -1,0 +1,163 @@
+//! Convergence analysis: locating the stabilized suffix of a faulty run.
+//!
+//! The paper's definition of stabilization — every computation has a
+//! suffix that is a suffix of a legitimate computation — becomes, on a
+//! recorded trace: *there is a time `c` after the last fault such that the
+//! suffix from `c` satisfies the specification*. This module computes the
+//! earliest such `c` and derives the convergence-time metric used by the
+//! experiments (`c − last_fault_time`).
+
+use graybox_simnet::SimTime;
+
+use crate::lspec;
+use crate::tme_spec;
+use crate::Trace;
+
+/// Analysis of one (possibly faulty) recorded run.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// Earliest time from which the suffix satisfies ME1 ∧ ME2 ∧ ME3 and
+    /// the checked `Lspec` safety conjuncts; `None` if no such suffix
+    /// exists in the trace (the run did not stabilize before the horizon).
+    pub converged_at: Option<SimTime>,
+    /// Time of the last injected fault (`None` for fault-free runs).
+    pub last_fault: Option<SimTime>,
+    /// Number of ME1 (mutual-exclusion) violations anywhere in the trace.
+    pub me1_violations: usize,
+    /// Time of the last ME1 violation.
+    pub last_me1_violation: Option<SimTime>,
+    /// Number of starvation verdicts (hungry intervals that never closed
+    /// despite enough remaining trace).
+    pub starved: usize,
+    /// End of the recorded trace.
+    pub horizon: SimTime,
+}
+
+impl ConvergenceReport {
+    /// Whether the run stabilized (has a legitimate suffix).
+    pub fn stabilized(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Convergence time: ticks from the last fault to the converged
+    /// suffix; 0 for fault-free runs that were always legitimate.
+    pub fn convergence_ticks(&self) -> Option<u64> {
+        let at = self.converged_at?;
+        Some(at.since(self.last_fault.unwrap_or(SimTime::ZERO)))
+    }
+}
+
+/// Analyzes a trace: finds the earliest suffix satisfying the combined
+/// specification. `grace` is the liveness grace period (see
+/// [`lspec::DEFAULT_GRACE`]).
+pub fn analyze(trace: &Trace, grace: u64) -> ConvergenceReport {
+    let tme = tme_spec::check_all(trace, grace);
+    let lspec_report = lspec::check_all(trace, grace);
+
+    // Candidate convergence points: after the last fault and after the
+    // last violation of any checked property.
+    let mut candidate = trace.last_fault_time().map_or(SimTime::ZERO, |t| t + 1);
+    let mut bump = |violation: Option<SimTime>| {
+        if let Some(time) = violation {
+            if time + 1 > candidate {
+                candidate = time + 1;
+            }
+        }
+    };
+    bump(tme.me1.last_violation());
+    bump(tme.me3.last_violation());
+    bump(tme.me2.violated.last().map(|&(_, t)| t));
+    bump(lspec_report.structural_flow.last_violation());
+    bump(lspec_report.request_frozen.last_violation());
+    bump(lspec_report.request_broadcast.last_violation());
+    bump(lspec_report.reply.last_violation());
+    bump(lspec_report.cs_release.last_violation());
+    bump(lspec_report.timestamp.last_violation());
+    bump(lspec_report.fifo.last_violation());
+    bump(lspec_report.cs_transience.violated.last().map(|&(_, t)| t));
+    bump(lspec_report.cs_entry.violated.last().map(|&(_, t)| t));
+
+    // The suffix must be non-trivial: require that the trace extends at
+    // least `grace` past the candidate, so "converged" is not an artifact
+    // of the horizon. (A fault-free, violation-free run converges at 0.)
+    let horizon = trace.end_time();
+    let converged_at = if horizon.since(candidate) >= grace || candidate == SimTime::ZERO {
+        Some(candidate)
+    } else {
+        None
+    };
+
+    ConvergenceReport {
+        converged_at,
+        last_fault: trace.last_fault_time(),
+        me1_violations: tme.me1.violations.len(),
+        last_me1_violation: tme.me1.last_violation(),
+        starved: tme.me2.violated.len(),
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lspec::DEFAULT_GRACE;
+    use crate::TraceRecorder;
+    use graybox_clock::ProcessId;
+    use graybox_simnet::{SimConfig, Simulation};
+    use graybox_tme::{Implementation, TmeClient, TmeProcess, Workload, WorkloadConfig};
+
+    fn fault_free(seed: u64) -> Trace {
+        let n = 3;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
+        Workload::generate(WorkloadConfig::default(), seed).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        recorder.run_until(&mut sim, SimTime::from(2_000));
+        recorder.into_trace()
+    }
+
+    #[test]
+    fn fault_free_run_converges_at_zero() {
+        let report = analyze(&fault_free(3), DEFAULT_GRACE);
+        assert!(report.stabilized());
+        assert_eq!(report.converged_at, Some(SimTime::ZERO));
+        assert_eq!(report.convergence_ticks(), Some(0));
+        assert_eq!(report.me1_violations, 0);
+        assert_eq!(report.starved, 0);
+    }
+
+    #[test]
+    fn unwrapped_deadlock_does_not_converge() {
+        let n = 2;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(4));
+        sim.schedule_client(
+            SimTime::from(1),
+            ProcessId(0),
+            TmeClient::Request { eat_for: 2 },
+        );
+        sim.schedule_client(
+            SimTime::from(1),
+            ProcessId(1),
+            TmeClient::Request { eat_for: 2 },
+        );
+        let mut recorder = TraceRecorder::new(&sim);
+        while sim.peek_time().is_some_and(|t| t <= SimTime::from(1)) {
+            recorder.step(&mut sim);
+        }
+        sim.flush_channel(ProcessId(0), ProcessId(1));
+        sim.flush_channel(ProcessId(1), ProcessId(0));
+        recorder.mark_fault(&sim, ProcessId(0), "drop both requests".into());
+        recorder.run_until(&mut sim, SimTime::from(2_000));
+        let report = analyze(&recorder.into_trace(), DEFAULT_GRACE);
+        assert!(
+            !report.stabilized(),
+            "deadlocked run must not count as converged"
+        );
+        assert!(report.starved > 0);
+    }
+}

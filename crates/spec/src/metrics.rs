@@ -1,0 +1,161 @@
+//! Service metrics extracted from traces: waiting times, per-process
+//! fairness, and overtaking counts.
+//!
+//! `TME_Spec`'s ME3 (first-come first-serve) is a qualitative guarantee;
+//! these metrics quantify its effect: with FCFS, no request is overtaken
+//! by a causally later one, which bounds the spread of waiting times under
+//! contention. Experiment F6 compares the distributions across
+//! implementations.
+
+use graybox_tme::Mode;
+
+use crate::tme_spec::{granted_requests, GrantedRequest};
+use crate::Trace;
+
+/// Waiting-time and fairness metrics of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Request-to-entry latency (ticks) of every granted request,
+    /// time-ordered by entry.
+    pub waits: Vec<u64>,
+    /// Grants per process.
+    pub grants_per_process: Vec<u64>,
+    /// Number of *overtakes*: pairs of granted requests where the
+    /// happened-before-earlier request entered later (0 when ME3 holds).
+    pub overtakes: usize,
+    /// Total ticks each process spent hungry.
+    pub hungry_ticks: Vec<u64>,
+}
+
+impl ServiceMetrics {
+    /// Maximum over minimum wait (1.0 = perfectly even; meaningless with
+    /// fewer than two grants).
+    pub fn wait_spread(&self) -> f64 {
+        match (self.waits.iter().max(), self.waits.iter().min()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            (Some(&max), Some(_)) => max as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean waiting time in ticks.
+    pub fn mean_wait(&self) -> f64 {
+        if self.waits.is_empty() {
+            0.0
+        } else {
+            self.waits.iter().sum::<u64>() as f64 / self.waits.len() as f64
+        }
+    }
+}
+
+/// Extracts service metrics from a trace.
+pub fn service_metrics(trace: &Trace) -> ServiceMetrics {
+    let mut grants: Vec<GrantedRequest> = granted_requests(trace);
+    grants.sort_by_key(|g| g.entry_time);
+    let waits = grants
+        .iter()
+        .map(|g| g.entry_time.since(g.request_time))
+        .collect();
+    let mut grants_per_process = vec![0u64; trace.n()];
+    for grant in &grants {
+        grants_per_process[grant.pid.index()] += 1;
+    }
+    // Overtakes: hb-earlier request granted later.
+    let mut overtakes = 0;
+    for (i, a) in grants.iter().enumerate() {
+        for b in &grants[..i] {
+            // b entered before a; if a's request hb b's request, a was
+            // overtaken.
+            if a.pid != b.pid && trace.hb().happened_before(a.request_event, b.request_event) {
+                overtakes += 1;
+            }
+        }
+    }
+    // Hungry time per process, integrated over steps.
+    let mut hungry_ticks = vec![0u64; trace.n()];
+    let mut previous_time = graybox_simnet::SimTime::ZERO;
+    let mut previous_modes: Vec<Mode> = trace.initial().iter().map(|s| s.mode).collect();
+    for step in trace.steps() {
+        let delta = step.time.since(previous_time);
+        for (pid, mode) in previous_modes.iter().enumerate() {
+            if mode.is_hungry() {
+                hungry_ticks[pid] += delta;
+            }
+        }
+        previous_time = step.time;
+        for (slot, snap) in previous_modes.iter_mut().zip(&step.snapshots) {
+            *slot = snap.mode;
+        }
+    }
+    ServiceMetrics {
+        waits,
+        grants_per_process,
+        overtakes,
+        hungry_ticks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecorder;
+    use graybox_clock::ProcessId;
+    use graybox_simnet::{SimConfig, SimTime, Simulation};
+    use graybox_tme::{Implementation, TmeProcess, Workload};
+
+    fn contended_trace(implementation: Implementation, seed: u64) -> Trace {
+        let n = 3;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
+        Workload::synchronized(n, 3, 150, 5).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        recorder.run_until(&mut sim, SimTime::from(2_000));
+        recorder.into_trace()
+    }
+
+    #[test]
+    fn metrics_cover_all_grants() {
+        let trace = contended_trace(Implementation::RicartAgrawala, 1);
+        let metrics = service_metrics(&trace);
+        assert_eq!(metrics.waits.len(), 9); // 3 procs × 3 rounds
+        assert_eq!(metrics.grants_per_process, vec![3, 3, 3]);
+        assert!(metrics.mean_wait() > 0.0);
+        assert!(metrics.wait_spread() >= 1.0);
+    }
+
+    #[test]
+    fn fcfs_implementations_never_overtake() {
+        for implementation in Implementation::ALL {
+            let trace = contended_trace(implementation, 2);
+            let metrics = service_metrics(&trace);
+            assert_eq!(metrics.overtakes, 0, "{implementation} overtook");
+        }
+    }
+
+    #[test]
+    fn hungry_time_accumulates_under_contention() {
+        let trace = contended_trace(Implementation::Lamport, 3);
+        let metrics = service_metrics(&trace);
+        assert!(metrics.hungry_ticks.iter().all(|&t| t > 0));
+        // Total hungry time at least covers the summed waits.
+        let total_waits: u64 = metrics.waits.iter().sum();
+        let total_hungry: u64 = metrics.hungry_ticks.iter().sum();
+        assert!(total_hungry >= total_waits / 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_metrics() {
+        let n = 2;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
+            .collect();
+        let sim: Simulation<TmeProcess> = Simulation::new(procs, SimConfig::with_seed(4));
+        let recorder = TraceRecorder::new(&sim);
+        let metrics = service_metrics(&recorder.into_trace());
+        assert!(metrics.waits.is_empty());
+        assert_eq!(metrics.overtakes, 0);
+        assert_eq!(metrics.mean_wait(), 0.0);
+    }
+}

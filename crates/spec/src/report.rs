@@ -1,0 +1,162 @@
+//! Human-readable analysis reports for recorded traces.
+//!
+//! [`render`] bundles every checker in this crate into one plain-text
+//! report: per-conjunct verdicts for `Lspec`, the `TME_Spec` verdicts, the
+//! invariant **I**, convergence analysis, and a service summary. Used by
+//! the `trace_report` example and handy when debugging new fault
+//! scenarios.
+
+use std::fmt::Write as _;
+
+use crate::convergence;
+use crate::lspec;
+use crate::tme_spec;
+use crate::Trace;
+
+fn safety_line(name: &str, outcome: &crate::temporal::SafetyOutcome) -> String {
+    match outcome.last_violation() {
+        None => format!("  {name:<28} ok\n"),
+        Some(last) => format!(
+            "  {name:<28} {} violation(s), last at {last}\n",
+            outcome.violations.len()
+        ),
+    }
+}
+
+fn liveness_line(name: &str, outcome: &crate::temporal::LivenessOutcome) -> String {
+    if outcome.violated.is_empty() {
+        format!(
+            "  {name:<28} ok ({} pending at horizon)\n",
+            outcome.pending.len()
+        )
+    } else {
+        format!(
+            "  {name:<28} {} undischarged obligation(s)\n",
+            outcome.violated.len()
+        )
+    }
+}
+
+/// Renders a full analysis report of the trace.
+pub fn render(trace: &Trace, grace: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} processes, {} steps, horizon {}",
+        trace.n(),
+        trace.steps().len(),
+        trace.end_time()
+    );
+    let faults = trace.steps().iter().filter(|s| s.kind.is_fault()).count();
+    let _ = writeln!(
+        out,
+        "faults: {faults} injected{}",
+        trace
+            .last_fault_time()
+            .map(|t| format!(", last at {t}"))
+            .unwrap_or_default()
+    );
+
+    let _ = writeln!(out, "\nLspec conjuncts:");
+    let report = lspec::check_all(trace, grace);
+    out.push_str(&safety_line("Structural/Flow", &report.structural_flow));
+    out.push_str(&liveness_line(
+        "CS Spec (transience)",
+        &report.cs_transience,
+    ));
+    out.push_str(&safety_line(
+        "Request Spec (frozen)",
+        &report.request_frozen,
+    ));
+    out.push_str(&safety_line(
+        "Request Spec (broadcast)",
+        &report.request_broadcast,
+    ));
+    out.push_str(&safety_line("Reply Spec", &report.reply));
+    out.push_str(&liveness_line("CS Entry Spec", &report.cs_entry));
+    out.push_str(&safety_line("CS Release Spec", &report.cs_release));
+    out.push_str(&safety_line("Timestamp Spec", &report.timestamp));
+    out.push_str(&safety_line("Communication Spec (FIFO)", &report.fifo));
+
+    let _ = writeln!(out, "\nTME_Spec:");
+    let tme = tme_spec::check_all(trace, grace);
+    out.push_str(&safety_line("ME1 mutual exclusion", &tme.me1));
+    out.push_str(&liveness_line("ME2 starvation freedom", &tme.me2));
+    out.push_str(&safety_line("ME3 first-come first-serve", &tme.me3));
+    out.push_str(&safety_line(
+        "invariant I (Thm A.1)",
+        &lspec::check_invariant_i(trace),
+    ));
+
+    let analysis = convergence::analyze(trace, grace);
+    let _ = writeln!(out, "\nconvergence:");
+    match analysis.converged_at {
+        Some(at) => {
+            let _ = writeln!(
+                out,
+                "  stabilized: suffix from {at} is legitimate ({} ticks after last fault)",
+                analysis.convergence_ticks().unwrap_or(0)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  NOT stabilized within the horizon");
+        }
+    }
+
+    let grants = tme_spec::granted_requests(trace);
+    let _ = writeln!(out, "\nservice: {} critical-section grants", grants.len());
+    for grant in grants.iter().take(12) {
+        let _ = writeln!(
+            out,
+            "  {} at {} (requested {}, req={})",
+            grant.pid, grant.entry_time, grant.request_time, grant.req
+        );
+    }
+    if grants.len() > 12 {
+        let _ = writeln!(out, "  … and {} more", grants.len() - 12);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecorder;
+    use graybox_clock::ProcessId;
+    use graybox_simnet::{SimConfig, SimTime, Simulation};
+    use graybox_tme::{Implementation, TmeProcess, Workload, WorkloadConfig};
+
+    fn trace() -> Trace {
+        let n = 3;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(1));
+        Workload::generate(WorkloadConfig::default(), 1).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        recorder.run_until(&mut sim, SimTime::from(1_500));
+        recorder.into_trace()
+    }
+
+    #[test]
+    fn report_covers_all_sections() {
+        let text = render(&trace(), lspec::DEFAULT_GRACE);
+        for needle in [
+            "Lspec conjuncts:",
+            "TME_Spec:",
+            "ME1 mutual exclusion",
+            "convergence:",
+            "stabilized",
+            "critical-section grants",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_all_ok() {
+        let text = render(&trace(), lspec::DEFAULT_GRACE);
+        assert!(!text.contains("violation(s)"), "{text}");
+        assert!(!text.contains("NOT stabilized"), "{text}");
+    }
+}

@@ -1,0 +1,46 @@
+use graybox_simnet::TimerTag;
+
+/// Timer tag used by implementations to schedule the end of a critical
+/// section (`eat_for` ticks after entry). Wrappers use tags at or above
+/// `1 << 16` (see [`graybox_simnet::process::TimerTagExt`] semantics), so
+/// this never collides.
+///
+/// [`graybox_simnet::process::TimerTagExt`]: graybox_simnet::TimerTag
+pub const RELEASE_TIMER: TimerTag = 1;
+
+/// Client events driving a TME process (the paper's Client Spec actions).
+///
+/// The client state machine (thinking → hungry → eating → thinking) lives
+/// inside the process per the paper's model; these events are the client's
+/// stimuli. CS Spec ("`e.j` is transient") is realized by `eat_for`:
+/// implementations schedule their own release after that many ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmeClient {
+    /// Request the critical section, intending to hold it for `eat_for`
+    /// ticks once granted. Ignored unless the process is thinking
+    /// (Structural Spec).
+    Request {
+        /// How long to eat once the CS is granted.
+        eat_for: u64,
+    },
+    /// Release the critical section immediately. Ignored unless eating.
+    Release,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_timer_is_below_wrapper_namespace() {
+        let tag = RELEASE_TIMER;
+        assert!(tag < (1 << 16));
+    }
+
+    #[test]
+    fn client_events_are_value_types() {
+        let request = TmeClient::Request { eat_for: 10 };
+        assert_eq!(request, request);
+        assert_ne!(request, TmeClient::Release);
+    }
+}

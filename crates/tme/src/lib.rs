@@ -1,0 +1,62 @@
+//! # Timestamp-based distributed mutual exclusion (TME)
+//!
+//! The case study of *"Graybox Stabilization"* (DSN 2001) §3–§5: processes
+//! compete for a critical section using totally ordered logical timestamps.
+//! This crate provides:
+//!
+//! * the protocol vocabulary — [`TmeMsg`] (Request / Reply / Release),
+//!   [`Mode`] (thinking / hungry / eating), [`TmeClient`] events;
+//! * the **`Lspec` interface** — [`LspecView`], exposing exactly the
+//!   quantities the paper's local everywhere specification talks about
+//!   (`h.j`, `REQ_j`, and the relation `REQ_j lt j.REQ_k`). The graybox
+//!   wrapper in `graybox-wrapper` is generic over this trait and can
+//!   therefore never touch implementation state — graybox-ness is enforced
+//!   by the type system;
+//! * three everywhere-implementations of `Lspec`:
+//!   [`RaMe`] (Ricart–Agrawala, §5.1), [`LamportMe`] (Lamport's algorithm
+//!   with the paper's two §5.2 modifications), and [`RaMeAlt`] (an
+//!   independently structured third implementation, used to demonstrate
+//!   that the wrapper works on code its author never saw);
+//! * [`TmeProcess`], an enum unifying the three so one simulation type
+//!   covers all of them, and [`Workload`] for generating client request
+//!   schedules.
+//!
+//! # Example
+//!
+//! ```
+//! use graybox_clock::ProcessId;
+//! use graybox_simnet::{SimConfig, Simulation, SimTime};
+//! use graybox_tme::{Implementation, Mode, TmeClient, TmeProcess};
+//!
+//! let n = 3;
+//! let procs: Vec<TmeProcess> = (0..n)
+//!     .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n as usize))
+//!     .collect();
+//! let mut sim = Simulation::new(procs, SimConfig::with_seed(1));
+//! sim.schedule_client(SimTime::from(1), ProcessId(0), TmeClient::Request { eat_for: 5 });
+//! sim.run_until(SimTime::from(500));
+//! assert_eq!(sim.process(ProcessId(0)).mode(), Mode::Thinking); // requested, ate, released
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alt;
+mod client;
+mod lamport;
+mod mode;
+mod msg;
+mod process;
+mod ra;
+mod view;
+mod workload;
+
+pub use alt::RaMeAlt;
+pub use client::{TmeClient, RELEASE_TIMER};
+pub use lamport::LamportMe;
+pub use mode::Mode;
+pub use msg::TmeMsg;
+pub use process::{Implementation, TmeProcess};
+pub use ra::RaMe;
+pub use view::{LspecView, ProcSnapshot, TmeIntrospect};
+pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,127 @@
+use std::fmt;
+
+use graybox_simnet::Corruptible;
+use rand::RngCore;
+
+/// The client-visible mode of a process (the paper's `t.j`, `h.j`, `e.j`).
+///
+/// Structural Spec: in every state exactly one of the three holds — which
+/// the enum representation makes true by construction (a useful property:
+/// even *arbitrary corruption* cannot make a process simultaneously hungry
+/// and eating, matching the paper's use of a `state.j` variable over the
+/// domain `{h, e, t}` to "everywhere implement" Structural Spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Neither hungry nor eating (`t.j`).
+    #[default]
+    Thinking,
+    /// Requested the critical section, not yet granted (`h.j`).
+    Hungry,
+    /// Inside the critical section (`e.j`).
+    Eating,
+}
+
+impl Mode {
+    /// `t.j`.
+    pub fn is_thinking(self) -> bool {
+        self == Mode::Thinking
+    }
+
+    /// `h.j`.
+    pub fn is_hungry(self) -> bool {
+        self == Mode::Hungry
+    }
+
+    /// `e.j`.
+    pub fn is_eating(self) -> bool {
+        self == Mode::Eating
+    }
+
+    /// Whether `self → next` is a legal move of the Flow Spec
+    /// (`t unless h`, `h unless e`, `e unless t` — i.e. stay, or advance
+    /// one step around the cycle t → h → e → t).
+    pub fn flow_allows(self, next: Mode) -> bool {
+        self == next
+            || matches!(
+                (self, next),
+                (Mode::Thinking, Mode::Hungry)
+                    | (Mode::Hungry, Mode::Eating)
+                    | (Mode::Eating, Mode::Thinking)
+            )
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Mode::Thinking => "thinking",
+            Mode::Hungry => "hungry",
+            Mode::Eating => "eating",
+        };
+        f.write_str(text)
+    }
+}
+
+impl Corruptible for Mode {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        *self = match rng.next_u32() % 3 {
+            0 => Mode::Thinking,
+            1 => Mode::Hungry,
+            _ => Mode::Eating,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predicates_are_exclusive() {
+        for mode in [Mode::Thinking, Mode::Hungry, Mode::Eating] {
+            let truths = [mode.is_thinking(), mode.is_hungry(), mode.is_eating()];
+            assert_eq!(truths.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn flow_allows_cycle_and_stutter() {
+        assert!(Mode::Thinking.flow_allows(Mode::Hungry));
+        assert!(Mode::Hungry.flow_allows(Mode::Eating));
+        assert!(Mode::Eating.flow_allows(Mode::Thinking));
+        for mode in [Mode::Thinking, Mode::Hungry, Mode::Eating] {
+            assert!(mode.flow_allows(mode));
+        }
+    }
+
+    #[test]
+    fn flow_forbids_shortcuts() {
+        assert!(!Mode::Thinking.flow_allows(Mode::Eating));
+        assert!(!Mode::Hungry.flow_allows(Mode::Thinking));
+        assert!(!Mode::Eating.flow_allows(Mode::Hungry));
+    }
+
+    #[test]
+    fn corruption_hits_every_mode() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            let mut mode = Mode::Thinking;
+            mode.corrupt(&mut rng);
+            seen[mode as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn default_is_thinking_per_init() {
+        assert_eq!(Mode::default(), Mode::Thinking);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Mode::Hungry.to_string(), "hungry");
+    }
+}

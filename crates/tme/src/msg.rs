@@ -1,0 +1,112 @@
+use std::fmt;
+
+use graybox_clock::{ProcessId, Timestamp};
+use graybox_simnet::Corruptible;
+use rand::RngCore;
+
+/// The TME protocol message vocabulary.
+///
+/// * `Request(REQ_j)` — the "send(REQ_j, j, k)" of Request Spec; carries
+///   the sender's current request timestamp. Also re-sent by the graybox
+///   wrapper `W`.
+/// * `Reply(ts)` — the reply of Reply Spec; carries the replier's current
+///   request timestamp (Ricart–Agrawala) or logical clock (Lamport).
+/// * `Release(ts)` — Lamport's release broadcast (Ricart–Agrawala does not
+///   use it; an implementation must tolerate receiving one anyway, since
+///   the fault model can inject arbitrary messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TmeMsg {
+    /// A (possibly re-sent) critical-section request.
+    Request(Timestamp),
+    /// A reply granting precedence to the addressee.
+    Reply(Timestamp),
+    /// A release notification (Lamport's algorithm).
+    Release(Timestamp),
+}
+
+impl TmeMsg {
+    /// The timestamp carried by the message.
+    pub fn timestamp(self) -> Timestamp {
+        match self {
+            TmeMsg::Request(ts) | TmeMsg::Reply(ts) | TmeMsg::Release(ts) => ts,
+        }
+    }
+
+    /// True for request messages.
+    pub fn is_request(self) -> bool {
+        matches!(self, TmeMsg::Request(_))
+    }
+}
+
+impl fmt::Display for TmeMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmeMsg::Request(ts) => write!(f, "request({ts})"),
+            TmeMsg::Reply(ts) => write!(f, "reply({ts})"),
+            TmeMsg::Release(ts) => write!(f, "release({ts})"),
+        }
+    }
+}
+
+impl Corruptible for TmeMsg {
+    /// Message corruption: the payload becomes an arbitrary type-valid
+    /// message — kind, clock value, and claimed origin all scrambled
+    /// (clock values are kept small so corrupted timestamps interact with
+    /// legitimate ones rather than vanishing into the far future).
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        let ts = Timestamp::new(
+            u64::from(rng.next_u32() % 64),
+            ProcessId(rng.next_u32() % 16),
+        );
+        *self = match rng.next_u32() % 3 {
+            0 => TmeMsg::Request(ts),
+            1 => TmeMsg::Reply(ts),
+            _ => TmeMsg::Release(ts),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ts(time: u64, pid: u32) -> Timestamp {
+        Timestamp::new(time, ProcessId(pid))
+    }
+
+    #[test]
+    fn timestamp_is_extracted_from_every_kind() {
+        assert_eq!(TmeMsg::Request(ts(1, 0)).timestamp(), ts(1, 0));
+        assert_eq!(TmeMsg::Reply(ts(2, 1)).timestamp(), ts(2, 1));
+        assert_eq!(TmeMsg::Release(ts(3, 2)).timestamp(), ts(3, 2));
+    }
+
+    #[test]
+    fn is_request_distinguishes() {
+        assert!(TmeMsg::Request(ts(1, 0)).is_request());
+        assert!(!TmeMsg::Reply(ts(1, 0)).is_request());
+    }
+
+    #[test]
+    fn corruption_produces_all_kinds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut kinds = [false; 3];
+        for _ in 0..64 {
+            let mut msg = TmeMsg::Request(ts(0, 0));
+            msg.corrupt(&mut rng);
+            match msg {
+                TmeMsg::Request(_) => kinds[0] = true,
+                TmeMsg::Reply(_) => kinds[1] = true,
+                TmeMsg::Release(_) => kinds[2] = true,
+            }
+        }
+        assert_eq!(kinds, [true, true, true]);
+    }
+
+    #[test]
+    fn display_shows_kind_and_timestamp() {
+        assert_eq!(TmeMsg::Request(ts(4, 1)).to_string(), "request(4@p1)");
+    }
+}

@@ -1,0 +1,226 @@
+use std::fmt;
+
+use graybox_clock::{ProcessId, Timestamp};
+use graybox_simnet::{Context, Corruptible, Process, TimerTag};
+use rand::RngCore;
+
+use crate::{
+    LamportMe, LspecView, Mode, ProcSnapshot, RaMe, RaMeAlt, TmeClient, TmeIntrospect, TmeMsg,
+};
+
+/// Which `Lspec` implementation to instantiate — the paper's two published
+/// programs plus this repo's independent third one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Implementation {
+    /// Ricart–Agrawala (`RA_ME`, §5.1).
+    RicartAgrawala,
+    /// Lamport's algorithm with the §5.2 modifications (`Lamport_ME`).
+    Lamport,
+    /// The independently structured third implementation ([`RaMeAlt`]).
+    AltRicartAgrawala,
+}
+
+impl Implementation {
+    /// All bundled implementations, for sweeping experiments.
+    pub const ALL: [Implementation; 3] = [
+        Implementation::RicartAgrawala,
+        Implementation::Lamport,
+        Implementation::AltRicartAgrawala,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Implementation::RicartAgrawala => "RA_ME",
+            Implementation::Lamport => "Lamport_ME",
+            Implementation::AltRicartAgrawala => "Alt_ME",
+        }
+    }
+}
+
+impl fmt::Display for Implementation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A TME process of any bundled implementation, so one simulation type
+/// covers all of them (and the wrapper can be compared across
+/// implementations with *identical* wrapper code — Corollary 11).
+#[derive(Debug, Clone)]
+pub enum TmeProcess {
+    /// Ricart–Agrawala.
+    Ra(RaMe),
+    /// Lamport (modified).
+    Lamport(LamportMe),
+    /// The independent third implementation.
+    Alt(RaMeAlt),
+}
+
+impl TmeProcess {
+    /// Instantiates process `id` of an `n`-process system running the given
+    /// implementation, in its `Init` state.
+    pub fn new(implementation: Implementation, id: ProcessId, n: usize) -> Self {
+        match implementation {
+            Implementation::RicartAgrawala => TmeProcess::Ra(RaMe::new(id, n)),
+            Implementation::Lamport => TmeProcess::Lamport(LamportMe::new(id, n)),
+            Implementation::AltRicartAgrawala => TmeProcess::Alt(RaMeAlt::new(id, n)),
+        }
+    }
+
+    /// Which implementation this process runs.
+    pub fn implementation(&self) -> Implementation {
+        match self {
+            TmeProcess::Ra(_) => Implementation::RicartAgrawala,
+            TmeProcess::Lamport(_) => Implementation::Lamport,
+            TmeProcess::Alt(_) => Implementation::AltRicartAgrawala,
+        }
+    }
+
+    /// Number of critical-section entries so far.
+    pub fn entries(&self) -> u64 {
+        match self {
+            TmeProcess::Ra(p) => p.entries(),
+            TmeProcess::Lamport(p) => p.entries(),
+            TmeProcess::Alt(p) => p.entries(),
+        }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> Mode {
+        match self {
+            TmeProcess::Ra(p) => p.mode(),
+            TmeProcess::Lamport(p) => p.mode(),
+            TmeProcess::Alt(p) => p.mode(),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            TmeProcess::Ra($p) => $body,
+            TmeProcess::Lamport($p) => $body,
+            TmeProcess::Alt($p) => $body,
+        }
+    };
+}
+
+impl Process for TmeProcess {
+    type Msg = TmeMsg;
+    type Client = TmeClient;
+
+    fn id(&self) -> ProcessId {
+        delegate!(self, p => p.id())
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<TmeMsg>) {
+        delegate!(self, p => p.on_start(ctx))
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: TmeMsg, ctx: &mut Context<TmeMsg>) {
+        delegate!(self, p => p.on_message(from, msg, ctx))
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<TmeMsg>) {
+        delegate!(self, p => p.on_timer(tag, ctx))
+    }
+
+    fn on_client(&mut self, event: TmeClient, ctx: &mut Context<TmeMsg>) {
+        delegate!(self, p => p.on_client(event, ctx))
+    }
+}
+
+impl LspecView for TmeProcess {
+    fn lspec_id(&self) -> ProcessId {
+        delegate!(self, p => p.lspec_id())
+    }
+
+    fn lspec_n(&self) -> usize {
+        delegate!(self, p => p.lspec_n())
+    }
+
+    fn mode(&self) -> Mode {
+        delegate!(self, p => LspecView::mode(p))
+    }
+
+    fn req(&self) -> Timestamp {
+        delegate!(self, p => p.req())
+    }
+
+    fn my_req_precedes(&self, k: ProcessId) -> bool {
+        delegate!(self, p => p.my_req_precedes(k))
+    }
+}
+
+impl TmeIntrospect for TmeProcess {
+    fn snapshot(&self) -> ProcSnapshot {
+        delegate!(self, p => p.snapshot())
+    }
+}
+
+impl Corruptible for TmeProcess {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        delegate!(self, p => p.corrupt(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox_simnet::{SimConfig, SimTime, Simulation};
+
+    #[test]
+    fn factory_builds_each_implementation() {
+        for implementation in Implementation::ALL {
+            let p = TmeProcess::new(implementation, ProcessId(0), 2);
+            assert_eq!(p.implementation(), implementation);
+            assert_eq!(p.mode(), Mode::Thinking);
+            assert_eq!(p.entries(), 0);
+            assert_eq!(Process::id(&p), ProcessId(0));
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            Implementation::ALL.iter().map(|i| i.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(Implementation::Lamport.to_string(), "Lamport_ME");
+    }
+
+    #[test]
+    fn every_implementation_completes_a_contended_round() {
+        for implementation in Implementation::ALL {
+            let n = 3;
+            let procs = (0..n)
+                .map(|i| TmeProcess::new(implementation, ProcessId(i), n as usize))
+                .collect();
+            let mut sim = Simulation::new(procs, SimConfig::with_seed(11));
+            for i in 0..n {
+                sim.schedule_client(
+                    SimTime::from(1),
+                    ProcessId(i),
+                    TmeClient::Request { eat_for: 3 },
+                );
+            }
+            sim.run_until(SimTime::from(2_000));
+            for p in sim.processes() {
+                assert_eq!(
+                    p.entries(),
+                    1,
+                    "{implementation}: {} starved",
+                    Process::id(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_work_through_the_enum() {
+        let p = TmeProcess::new(Implementation::Lamport, ProcessId(1), 3);
+        let snap = p.snapshot();
+        assert_eq!(snap.pid, ProcessId(1));
+        assert_eq!(snap.precedes.len(), 3);
+    }
+}

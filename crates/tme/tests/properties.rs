@@ -1,0 +1,116 @@
+//! Property-based tests across the three `Lspec` implementations: safety
+//! under random workloads, liveness in fault-free runs, and structural
+//! sanity of corruption.
+
+use graybox_clock::ProcessId;
+use graybox_simnet::{Corruptible, SimConfig, SimTime, Simulation};
+use graybox_tme::{
+    Implementation, LspecView, Mode, TmeIntrospect, TmeProcess, Workload, WorkloadConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn implementation_strategy() -> impl Strategy<Value = Implementation> {
+    prop_oneof![
+        Just(Implementation::RicartAgrawala),
+        Just(Implementation::Lamport),
+        Just(Implementation::AltRicartAgrawala),
+    ]
+}
+
+fn build(implementation: Implementation, n: usize, seed: u64) -> Simulation<TmeProcess> {
+    let procs = (0..n as u32)
+        .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
+        .collect();
+    Simulation::new(procs, SimConfig::with_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn me1_holds_stepwise_for_random_workloads(
+        implementation in implementation_strategy(),
+        seed in 0u64..500,
+        n in 2usize..5,
+    ) {
+        let mut sim = build(implementation, n, seed);
+        Workload::generate(
+            WorkloadConfig { n, requests_per_process: 3, mean_think: 20, eat_for: 3, start: 1 },
+            seed,
+        )
+        .apply(&mut sim);
+        while sim.peek_time().is_some_and(|t| t <= SimTime::from(2_000)) {
+            sim.step();
+            let eating = sim.processes().filter(|p| p.mode().is_eating()).count();
+            prop_assert!(eating <= 1, "{implementation} violated ME1 at {}", sim.now());
+        }
+    }
+
+    #[test]
+    fn every_first_request_is_served(
+        implementation in implementation_strategy(),
+        seed in 0u64..300,
+        n in 2usize..5,
+    ) {
+        let mut sim = build(implementation, n, seed);
+        Workload::generate(
+            WorkloadConfig { n, requests_per_process: 1, mean_think: 30, eat_for: 3, start: 1 },
+            seed,
+        )
+        .apply(&mut sim);
+        sim.run_until(SimTime::from(3_000));
+        for p in sim.processes() {
+            prop_assert_eq!(p.entries(), 1, "{} starved under {}", LspecView::lspec_id(p), implementation);
+            prop_assert_eq!(p.mode(), Mode::Thinking);
+        }
+    }
+
+    #[test]
+    fn corruption_is_always_type_valid(
+        implementation in implementation_strategy(),
+        seed in 0u64..500,
+        n in 2usize..6,
+    ) {
+        let mut p = TmeProcess::new(implementation, ProcessId(0), n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            p.corrupt(&mut rng);
+            let snap = p.snapshot();
+            prop_assert_eq!(snap.pid, ProcessId(0));
+            prop_assert_eq!(snap.precedes.len(), n);
+            prop_assert_eq!(snap.local_req.len(), n);
+            prop_assert!(!snap.precedes[0], "own slot must be false");
+            for copy in snap.local_req.iter().flatten() {
+                prop_assert!(copy.pid.index() < n);
+            }
+            // The Lspec view stays callable and consistent with itself.
+            for k in ProcessId::all(n) {
+                let precedes = p.my_req_precedes(k);
+                prop_assert_eq!(precedes, snap.precedes[k.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_mode_matches_view_mode(
+        implementation in implementation_strategy(),
+        seed in 0u64..200,
+    ) {
+        let n = 3;
+        let mut sim = build(implementation, n, seed);
+        Workload::generate(
+            WorkloadConfig { n, requests_per_process: 2, mean_think: 15, eat_for: 2, start: 1 },
+            seed,
+        )
+        .apply(&mut sim);
+        while sim.peek_time().is_some_and(|t| t <= SimTime::from(600)) {
+            sim.step();
+            for p in sim.processes() {
+                prop_assert_eq!(p.snapshot().mode, LspecView::mode(p));
+                prop_assert_eq!(p.snapshot().req, p.req());
+            }
+        }
+    }
+}

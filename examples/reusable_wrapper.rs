@@ -1,0 +1,50 @@
+//! Corollary 11, live: one wrapper configuration, three independently
+//! written implementations of `Lspec`, identical recovery behaviour.
+//!
+//! The wrapper's code is generic over `LspecView` — it cannot touch
+//! Ricart–Agrawala's `received` flags or Lamport's `request_queue` even if
+//! it wanted to. Reuse across implementations is therefore a property of
+//! the type system, not a testing accident.
+//!
+//! ```sh
+//! cargo run --example reusable_wrapper
+//! ```
+
+use graybox::faults::{run_tme, FaultKind, FaultPlan, RunConfig};
+use graybox::tme::Implementation;
+use graybox::wrapper::WrapperConfig;
+
+fn main() {
+    // The one wrapper, written once against the specification.
+    let the_wrapper = WrapperConfig::timeout(8);
+
+    println!("one wrapper: {}", the_wrapper.label());
+    println!();
+    println!(
+        "{:<12} {:>11} {:>8} {:>14} {:>13}",
+        "impl", "stabilized", "entries", "ME1 violations", "wrapper msgs"
+    );
+    for implementation in Implementation::ALL {
+        let config = RunConfig::new(3, implementation)
+            .wrapper(the_wrapper)
+            .seed(11)
+            .faults(FaultPlan::random_mix(11, (50, 250), 10, &FaultKind::ALL));
+        let outcome = run_tme(&config);
+        println!(
+            "{:<12} {:>11} {:>8} {:>14} {:>13}",
+            implementation.label(),
+            outcome.verdict.stabilized,
+            outcome.total_entries,
+            outcome.verdict.me1_violations,
+            outcome.wrapper_resends
+        );
+        assert!(
+            outcome.verdict.stabilized,
+            "{implementation} must stabilize"
+        );
+    }
+    println!();
+    println!("All three implementations stabilized under an identical 10-fault storm,");
+    println!("wrapped by byte-for-byte the same wrapper. That is graybox design:");
+    println!("the wrapper was derived from Lspec, never from an implementation.");
+}

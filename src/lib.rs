@@ -1,0 +1,54 @@
+//! # Graybox Stabilization
+//!
+//! A full reproduction of **"Graybox Stabilization"** (Arora, Demirbas,
+//! Kulkarni; DSN 2001) as a Rust workspace. This facade crate re-exports
+//! every subsystem so examples and downstream users can depend on a single
+//! crate.
+//!
+//! The paper shows that *self-stabilization* can be added to a distributed
+//! system knowing only its **specification** (graybox), not its
+//! implementation (whitebox), provided the specification is a *local
+//! everywhere* specification. The case study is timestamp-based distributed
+//! mutual exclusion (TME): a single wrapper `W` — re-send your request to the
+//! peers your local copies claim are "earlier" while you are hungry — renders
+//! *every* everywhere-implementation of the local specification `Lspec`
+//! stabilizing, including Ricart–Agrawala and (modified) Lamport mutual
+//! exclusion.
+//!
+//! ## Layout
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `graybox-core` | fusion-closed systems, box composition, stabilization model checking, guarded commands |
+//! | [`clock`] | `graybox-clock` | Lamport clocks, totally-ordered timestamps, happened-before recorder |
+//! | [`simnet`] | `graybox-simnet` | deterministic discrete-event simulator, FIFO channels, fault model |
+//! | [`tme`] | `graybox-tme` | `Lspec` interface + Ricart–Agrawala, Lamport, and an independent third implementation |
+//! | [`spec`] | `graybox-spec` | trace checkers for every conjunct of `Lspec` and `TME_Spec` |
+//! | [`wrapper`] | `graybox-wrapper` | the graybox wrapper `W` and its timeout refinement `W'` |
+//! | [`faults`] | `graybox-faults` | fault plans, the §4 deadlock scenario, campaign runner |
+//! | [`experiments`] | `graybox-experiments` | the harness regenerating every table/figure in EXPERIMENTS.md |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graybox::faults::{run_tme, RunConfig};
+//! use graybox::tme::Implementation;
+//! use graybox::wrapper::WrapperConfig;
+//!
+//! // Five Ricart–Agrawala processes, wrapped, with a burst of state
+//! // corruption mid-run: the system stabilizes.
+//! let config = RunConfig::new(5, Implementation::RicartAgrawala)
+//!     .wrapper(WrapperConfig::timeout(8))
+//!     .seed(42);
+//! let outcome = run_tme(&config);
+//! assert!(outcome.verdict.stabilized);
+//! ```
+
+pub use graybox_clock as clock;
+pub use graybox_core as core;
+pub use graybox_experiments as experiments;
+pub use graybox_faults as faults;
+pub use graybox_simnet as simnet;
+pub use graybox_spec as spec;
+pub use graybox_tme as tme;
+pub use graybox_wrapper as wrapper;

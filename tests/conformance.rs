@@ -1,0 +1,168 @@
+//! Integration: fault-free conformance across crates (Theorems 5, 9, 10).
+//!
+//! Exercises the full stack — simulator, implementations, wrapper, trace
+//! recorder, every checker — on parameters the per-crate unit tests do not
+//! use.
+
+use graybox::clock::ProcessId;
+use graybox::faults::{run_tme_trace, RunConfig};
+use graybox::simnet::{SimConfig, SimTime, Simulation};
+use graybox::spec::lspec::{self, DEFAULT_GRACE};
+use graybox::spec::{convergence, tme_spec, TraceRecorder};
+use graybox::tme::{Implementation, TmeProcess, Workload, WorkloadConfig};
+use graybox::wrapper::WrapperConfig;
+
+fn workload(n: usize, requests: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        n,
+        requests_per_process: requests,
+        mean_think: 35,
+        eat_for: 6,
+        start: 1,
+    }
+}
+
+#[test]
+fn every_implementation_satisfies_both_specs_fault_free() {
+    for implementation in Implementation::ALL {
+        for n in [2usize, 4, 6] {
+            let config = RunConfig::new(n, implementation)
+                .seed(100 + n as u64)
+                .workload(workload(n, 3));
+            let (trace, outcome) = run_tme_trace(&config);
+            let lspec_report = lspec::check_all(&trace, DEFAULT_GRACE);
+            assert!(
+                lspec_report.holds(),
+                "{implementation} n={n}: {:?}",
+                lspec_report.violated_conjuncts()
+            );
+            let tme_report = tme_spec::check_all(&trace, DEFAULT_GRACE);
+            assert!(
+                tme_report.holds(),
+                "{implementation} n={n}: TME_Spec violated"
+            );
+            assert!(outcome.verdict.stabilized);
+            assert_eq!(outcome.verdict.convergence_ticks, Some(0));
+            // Requests arriving while a process is still hungry are ignored
+            // (Structural Spec), so under contention fewer than n*3 can be
+            // served — but each process's first request always is.
+            assert!(outcome.total_entries as usize >= n);
+            assert!(outcome.total_entries as usize <= n * 3);
+        }
+    }
+}
+
+#[test]
+fn wrapped_systems_also_conform_fault_free() {
+    // Lemma 6 (interference freedom) across sizes and θ values.
+    for implementation in Implementation::ALL {
+        for theta in [0u64, 8, 32] {
+            let n = 4;
+            let config = RunConfig::new(n, implementation)
+                .wrapper(WrapperConfig::timeout(theta))
+                .seed(7 + theta)
+                .workload(workload(n, 2));
+            let (trace, outcome) = run_tme_trace(&config);
+            let report = lspec::check_all(&trace, DEFAULT_GRACE);
+            assert!(
+                report.holds(),
+                "{implementation} θ={theta}: wrapper interfered: {:?}",
+                report.violated_conjuncts()
+            );
+            assert!(outcome.total_entries as usize >= n);
+        }
+    }
+}
+
+#[test]
+fn invariant_i_holds_throughout_legitimate_runs() {
+    for implementation in Implementation::ALL {
+        let n = 3;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(55));
+        Workload::generate(workload(n, 4), 55).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        recorder.run_until(&mut sim, SimTime::from(4_000));
+        let trace = recorder.into_trace();
+        assert!(
+            lspec::check_invariant_i(&trace).holds(),
+            "{implementation}: invariant I violated in a fault-free run"
+        );
+        let analysis = convergence::analyze(&trace, DEFAULT_GRACE);
+        assert_eq!(analysis.converged_at, Some(SimTime::ZERO));
+    }
+}
+
+#[test]
+fn fcfs_holds_under_heavy_contention() {
+    // Zero thinking time: every process re-requests as fast as it can.
+    for implementation in Implementation::ALL {
+        let n = 4;
+        let config = RunConfig::new(n, implementation)
+            .seed(77)
+            .workload(WorkloadConfig {
+                n,
+                requests_per_process: 6,
+                mean_think: 5,
+                eat_for: 2,
+                start: 1,
+            });
+        let (trace, _) = run_tme_trace(&config);
+        let me3 = tme_spec::check_me3(&trace);
+        assert!(
+            me3.holds(),
+            "{implementation}: FCFS violated under contention"
+        );
+        let me1 = tme_spec::check_me1(&trace);
+        assert!(
+            me1.holds(),
+            "{implementation}: ME1 violated under contention"
+        );
+    }
+}
+
+#[test]
+fn slow_network_does_not_break_conformance() {
+    for implementation in Implementation::ALL {
+        let mut config = RunConfig::new(3, implementation)
+            .seed(31)
+            .workload(workload(3, 2));
+        config.delays = (10, 60); // an order of magnitude slower than eat times
+        let (trace, outcome) = run_tme_trace(&config);
+        let report = tme_spec::check_all(&trace, DEFAULT_GRACE);
+        assert!(report.holds(), "{implementation} with slow network");
+        assert!(outcome.total_entries >= 3);
+    }
+}
+
+#[test]
+fn synchronized_max_contention_preserves_safety() {
+    // Every process requests at the same instants — all requests of a
+    // round are causally concurrent, the hardest case for ME1/ME3.
+    use graybox::simnet::{SimConfig, SimTime, Simulation};
+    use graybox::tme::Workload;
+    for implementation in Implementation::ALL {
+        let n = 5;
+        let procs = (0..n as u32)
+            .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(88));
+        Workload::synchronized(n, 3, 200, 4).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        recorder.run_until(&mut sim, SimTime::from(3_000));
+        let trace = recorder.into_trace();
+        let report = tme_spec::check_all(&trace, DEFAULT_GRACE);
+        assert!(
+            report.holds(),
+            "{implementation} under synchronized contention"
+        );
+        // Every round serves every process exactly once: 15 grants.
+        assert_eq!(
+            tme_spec::granted_requests(&trace).len(),
+            15,
+            "{implementation}"
+        );
+    }
+}

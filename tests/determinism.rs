@@ -1,0 +1,74 @@
+//! Integration: one seed, one behaviour — everywhere.
+//!
+//! Every experiment row in EXPERIMENTS.md must be reproducible from its
+//! seed; these tests pin that property across the whole stack, including
+//! fault targeting and trace recording.
+
+use graybox::faults::{run_tme, run_tme_trace, scenarios, FaultKind, FaultPlan, RunConfig};
+use graybox::spec::TraceEventKind;
+use graybox::tme::Implementation;
+use graybox::wrapper::WrapperConfig;
+
+fn stormy_config(seed: u64) -> RunConfig {
+    RunConfig::new(4, Implementation::Lamport)
+        .wrapper(WrapperConfig::timeout(8))
+        .seed(seed)
+        .faults(FaultPlan::random_mix(seed, (30, 250), 12, &FaultKind::ALL))
+}
+
+#[test]
+fn identical_seeds_produce_identical_traces() {
+    let (trace_a, outcome_a) = run_tme_trace(&stormy_config(5));
+    let (trace_b, outcome_b) = run_tme_trace(&stormy_config(5));
+    assert_eq!(trace_a.steps().len(), trace_b.steps().len());
+    for (a, b) in trace_a.steps().iter().zip(trace_b.steps()) {
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.pid, b.pid);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.sends, b.sends);
+        assert_eq!(a.snapshots, b.snapshots);
+    }
+    assert_eq!(outcome_a.entries, outcome_b.entries);
+    assert_eq!(outcome_a.verdict, outcome_b.verdict);
+    assert_eq!(outcome_a.wrapper_resends, outcome_b.wrapper_resends);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_tme(&stormy_config(5));
+    let b = run_tme(&stormy_config(6));
+    // The workload schedule, delays, and fault targets all change; at
+    // minimum the message count differs on these configurations.
+    assert_ne!(
+        (a.messages_sent, a.wrapper_resends, a.entries.clone()),
+        (b.messages_sent, b.wrapper_resends, b.entries.clone())
+    );
+}
+
+#[test]
+fn scenario_runs_are_reproducible() {
+    let config = RunConfig::new(3, Implementation::AltRicartAgrawala)
+        .wrapper(WrapperConfig::timeout(4))
+        .seed(77);
+    let (trace_a, a) = scenarios::deadlock(&config);
+    let (trace_b, b) = scenarios::deadlock(&config);
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.last_grant_at, b.last_grant_at);
+    assert_eq!(trace_a.steps().len(), trace_b.steps().len());
+}
+
+#[test]
+fn fault_descriptions_are_deterministic() {
+    let collect = || -> Vec<String> {
+        let (trace, _) = run_tme_trace(&stormy_config(9));
+        trace
+            .steps()
+            .iter()
+            .filter_map(|s| match &s.kind {
+                TraceEventKind::Fault { description } => Some(description.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    assert_eq!(collect(), collect());
+}

@@ -1,0 +1,181 @@
+//! Integration: the graybox property itself.
+//!
+//! The wrapper was written once, against the `LspecView` trait. This test
+//! plays the downstream user: it defines its **own process type** — one the
+//! wrapper crate has never seen — and wraps it with the unchanged wrapper.
+//! If the wrapper compiled against anything implementation-specific, this
+//! file would not build; if it behaviourally depended on implementation
+//! internals, the assertions would fail.
+
+use graybox::clock::{ProcessId, Timestamp};
+use graybox::simnet::{Context, Corruptible, Process, SimConfig, SimTime, Simulation, TimerTag};
+use graybox::spec::lspec::{self, DEFAULT_GRACE};
+use graybox::spec::{convergence, TraceRecorder};
+use graybox::tme::{
+    Implementation, LspecView, Mode, ProcSnapshot, TmeClient, TmeIntrospect, TmeMsg, TmeProcess,
+};
+use graybox::wrapper::{GrayboxWrapper, WrapperConfig};
+use rand::RngCore;
+
+/// A downstream process type: an instrumented Ricart–Agrawala node that
+/// counts handler invocations and delegates the protocol. The wrapper
+/// cannot tell it apart from any other `LspecView` implementor.
+#[derive(Debug, Clone)]
+struct DownstreamNode {
+    inner: TmeProcess,
+    deliveries: u64,
+    timers: u64,
+}
+
+impl DownstreamNode {
+    fn new(id: ProcessId, n: usize) -> Self {
+        DownstreamNode {
+            inner: TmeProcess::new(Implementation::RicartAgrawala, id, n),
+            deliveries: 0,
+            timers: 0,
+        }
+    }
+}
+
+impl Process for DownstreamNode {
+    type Msg = TmeMsg;
+    type Client = TmeClient;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<TmeMsg>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: TmeMsg, ctx: &mut Context<TmeMsg>) {
+        self.deliveries += 1;
+        self.inner.on_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<TmeMsg>) {
+        self.timers += 1;
+        self.inner.on_timer(tag, ctx);
+    }
+
+    fn on_client(&mut self, event: TmeClient, ctx: &mut Context<TmeMsg>) {
+        self.inner.on_client(event, ctx);
+    }
+}
+
+impl LspecView for DownstreamNode {
+    fn lspec_id(&self) -> ProcessId {
+        self.inner.lspec_id()
+    }
+    fn lspec_n(&self) -> usize {
+        self.inner.lspec_n()
+    }
+    fn mode(&self) -> Mode {
+        LspecView::mode(&self.inner)
+    }
+    fn req(&self) -> Timestamp {
+        self.inner.req()
+    }
+    fn my_req_precedes(&self, k: ProcessId) -> bool {
+        self.inner.my_req_precedes(k)
+    }
+}
+
+impl TmeIntrospect for DownstreamNode {
+    fn snapshot(&self) -> ProcSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+impl Corruptible for DownstreamNode {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        self.inner.corrupt(rng);
+    }
+}
+
+type WrappedDownstream = GrayboxWrapper<DownstreamNode>;
+
+fn build(n: usize, theta: u64, seed: u64) -> Simulation<WrappedDownstream> {
+    let procs = (0..n as u32)
+        .map(|i| {
+            GrayboxWrapper::new(
+                DownstreamNode::new(ProcessId(i), n),
+                WrapperConfig::timeout(theta),
+            )
+        })
+        .collect();
+    Simulation::new(procs, SimConfig::with_seed(seed))
+}
+
+#[test]
+fn the_unchanged_wrapper_stabilizes_a_type_it_never_saw() {
+    let n = 3;
+    let mut sim = build(n, 6, 9);
+    for pid in ProcessId::all(n) {
+        sim.schedule_client(SimTime::from(1), pid, TmeClient::Request { eat_for: 3 });
+    }
+    let mut recorder = TraceRecorder::new(&sim);
+    while sim.peek_time().is_some_and(|t| t <= SimTime::from(1)) {
+        recorder.step(&mut sim);
+    }
+    // The §4 deadlock against the downstream type.
+    for from in ProcessId::all(n) {
+        for to in ProcessId::all(n) {
+            sim.flush_channel(from, to);
+        }
+    }
+    recorder.mark_fault(&sim, ProcessId(0), "flush all channels".into());
+    recorder.run_until(&mut sim, SimTime::from(3_000));
+    let trace = recorder.into_trace();
+    let report = convergence::analyze(&trace, DEFAULT_GRACE);
+    assert!(report.stabilized(), "downstream type did not stabilize");
+    for p in sim.processes() {
+        assert_eq!(p.inner().inner.entries(), 1);
+        assert!(p.inner().deliveries > 0, "instrumentation still works");
+    }
+}
+
+#[test]
+fn downstream_type_conforms_to_lspec_fault_free() {
+    let n = 3;
+    let mut sim = build(n, 8, 10);
+    for (i, pid) in ProcessId::all(n).enumerate() {
+        sim.schedule_client(
+            SimTime::from(1 + i as u64 * 20),
+            pid,
+            TmeClient::Request { eat_for: 4 },
+        );
+    }
+    let mut recorder = TraceRecorder::new(&sim);
+    recorder.run_until(&mut sim, SimTime::from(2_000));
+    let trace = recorder.into_trace();
+    let report = lspec::check_all(&trace, DEFAULT_GRACE);
+    assert!(
+        report.holds(),
+        "violated: {:?}",
+        report.violated_conjuncts()
+    );
+}
+
+#[test]
+fn wrapper_survives_corruption_of_the_downstream_type() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let n = 3;
+    let mut sim = build(n, 6, 11);
+    for pid in ProcessId::all(n) {
+        sim.schedule_client(SimTime::from(1), pid, TmeClient::Request { eat_for: 3 });
+    }
+    let mut recorder = TraceRecorder::new(&sim);
+    recorder.run_until(&mut sim, SimTime::from(40));
+    let mut rng = SmallRng::seed_from_u64(4);
+    for pid in ProcessId::all(n) {
+        sim.corrupt_process(pid);
+        recorder.mark_fault(&sim, pid, format!("corrupt {pid}"));
+    }
+    let _ = &mut rng;
+    recorder.run_until(&mut sim, SimTime::from(3_000));
+    let report = convergence::analyze(&recorder.into_trace(), DEFAULT_GRACE);
+    assert!(report.stabilized());
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over the core data structures and theorems.
+//!
+//! proptest drives randomized instances through the invariants the rest of
+//! the workspace relies on: the total order `lt`, the box-operator
+//! algebra, the composition theorems, FIFO channels, and the `Mode` state
+//! machine.
+
+use graybox::clock::{LamportClock, ProcessId, Timestamp};
+use graybox::core::fairness::check_fair_theorem1;
+use graybox::core::randsys::{random_subsystem, random_system, random_wrapper_pair};
+use graybox::core::theorems::{check_lemma0, check_theorem1};
+use graybox::core::{box_compose, everywhere_implements, implements_from_init};
+use graybox::tme::Mode;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn ts() -> impl Strategy<Value = Timestamp> {
+    (0u64..100, 0u32..8).prop_map(|(time, pid)| Timestamp::new(time, ProcessId(pid)))
+}
+
+proptest! {
+    #[test]
+    fn lt_is_a_strict_total_order(a in ts(), b in ts(), c in ts()) {
+        // Irreflexive.
+        prop_assert!(!a.lt(a));
+        // Total on distinct values.
+        if a != b {
+            prop_assert!(a.lt(b) ^ b.lt(a));
+        }
+        // Transitive.
+        if a.lt(b) && b.lt(c) {
+            prop_assert!(a.lt(c));
+        }
+    }
+
+    #[test]
+    fn lamport_clocks_respect_happened_before(seed in 0u64..500) {
+        // Random interleaving of local events and message edges between
+        // two clocks: along every actual hb edge, timestamps increase.
+        let mut a = LamportClock::new(ProcessId(0));
+        let mut b = LamportClock::new(ProcessId(1));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            use rand::Rng;
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    let before = a.now();
+                    let after = a.tick();
+                    prop_assert!(before.lt(after)); // process order
+                }
+                1 => {
+                    let before = b.now();
+                    let after = b.tick();
+                    prop_assert!(before.lt(after));
+                }
+                2 => {
+                    let send = a.tick(); // send event at a …
+                    let recv = b.receive(send); // … received at b
+                    prop_assert!(send.lt(recv)); // message edge
+                }
+                _ => {
+                    let send = b.tick();
+                    let recv = a.receive(send);
+                    prop_assert!(send.lt(recv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_operator_algebra(seed in 0u64..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_system(&mut rng, 8, 3, 0.5);
+        let b = random_system(&mut rng, 8, 3, 0.5);
+        let c = random_system(&mut rng, 8, 3, 0.5);
+        // Commutative, associative, idempotent.
+        prop_assert_eq!(box_compose(&a, &b).unwrap(), box_compose(&b, &a).unwrap());
+        prop_assert_eq!(
+            box_compose(&box_compose(&a, &b).unwrap(), &c).unwrap(),
+            box_compose(&a, &box_compose(&b, &c).unwrap()).unwrap()
+        );
+        prop_assert_eq!(box_compose(&a, &a).unwrap(), a.clone());
+        // Components everywhere-implement the composition... no: the
+        // composition is a superset, so each component refines it.
+        prop_assert!(everywhere_implements(&a, &box_compose(&a, &b).unwrap()));
+    }
+
+    #[test]
+    fn subsystems_implement_their_specs(seed in 0u64..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = random_system(&mut rng, 10, 4, 0.5);
+        let sub = random_subsystem(&mut rng, &spec);
+        prop_assert!(everywhere_implements(&sub, &spec));
+        prop_assert!(implements_from_init(&sub, &spec));
+        // Transitivity through a middle layer.
+        let subsub = random_subsystem(&mut rng, &sub);
+        prop_assert!(everywhere_implements(&subsub, &spec));
+    }
+
+    #[test]
+    fn composition_theorems_never_falsified(seed in 0u64..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_system(&mut rng, 9, 3, 0.4);
+        let c = random_subsystem(&mut rng, &a);
+        let (w, w_prime) = random_wrapper_pair(&mut rng, 9, 3);
+        prop_assert!(check_lemma0(&c, &a, &w_prime, &w).unwrap().validated());
+        prop_assert!(check_theorem1(&c, &a, &w_prime, &w).unwrap().validated());
+        prop_assert!(check_fair_theorem1(&c, &a, &w_prime, &w).unwrap().validated());
+    }
+
+    #[test]
+    fn mode_flow_is_a_cycle(mode in prop_oneof![
+        Just(Mode::Thinking), Just(Mode::Hungry), Just(Mode::Eating)
+    ]) {
+        // Exactly two successors are allowed from every mode: itself and
+        // the next mode around the t -> h -> e cycle.
+        let allowed = [Mode::Thinking, Mode::Hungry, Mode::Eating]
+            .into_iter()
+            .filter(|&next| mode.flow_allows(next))
+            .count();
+        prop_assert_eq!(allowed, 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fifo_channels_deliver_in_order_under_random_delays(seed in 0u64..200, count in 1usize..30) {
+        use graybox::simnet::{Context, Process, SimConfig, SimTime, Simulation};
+
+        #[derive(Debug)]
+        struct Sink(ProcessId, Vec<u64>);
+        impl Process for Sink {
+            type Msg = u64;
+            type Client = ();
+            fn id(&self) -> ProcessId { self.0 }
+            fn on_message(&mut self, _: ProcessId, msg: u64, _: &mut Context<u64>) {
+                self.1.push(msg);
+            }
+            fn on_timer(&mut self, _: u32, _: &mut Context<u64>) {}
+            fn on_client(&mut self, _: (), _: &mut Context<u64>) {}
+        }
+
+        let mut sim = Simulation::new(
+            vec![Sink(ProcessId(0), vec![]), Sink(ProcessId(1), vec![])],
+            SimConfig { seed, min_delay: 1, max_delay: 20, fifo: true },
+        );
+        for i in 0..count as u64 {
+            sim.inject_message(ProcessId(0), ProcessId(1), i);
+        }
+        sim.run_until(SimTime::from(10_000));
+        let received = &sim.process(ProcessId(1)).1;
+        let expected: Vec<u64> = (0..count as u64).collect();
+        prop_assert_eq!(received, &expected);
+    }
+
+    #[test]
+    fn wrapped_deadlock_recovery_is_universal(seed in 0u64..40, theta in 0u64..32) {
+        use graybox::faults::{scenarios, RunConfig};
+        use graybox::simnet::SimTime;
+        use graybox::tme::Implementation;
+        use graybox::wrapper::WrapperConfig;
+
+        let config = RunConfig::new(2, Implementation::RicartAgrawala)
+            .wrapper(WrapperConfig::timeout(theta))
+            .seed(seed)
+            .horizon(SimTime::from(6_000));
+        let (_, outcome) = scenarios::deadlock(&config);
+        prop_assert!(outcome.verdict.stabilized, "seed {} θ {} failed", seed, theta);
+        prop_assert_eq!(outcome.total_entries, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration: Theorem 8 — the wrapped system stabilizes under every
+//! fault class of §3.1, in combinations the unit tests do not cover.
+
+use graybox::faults::{run_tme, scenarios, FaultKind, FaultPlan, RunConfig};
+use graybox::simnet::SimTime;
+use graybox::tme::{Implementation, WorkloadConfig};
+use graybox::wrapper::WrapperConfig;
+
+fn storm(seed: u64, count: usize) -> FaultPlan {
+    FaultPlan::random_mix(seed, (40, 300), count, &FaultKind::ALL)
+}
+
+#[test]
+fn each_fault_kind_alone_is_survived_by_every_implementation() {
+    for implementation in Implementation::ALL {
+        for kind in FaultKind::ALL {
+            let config = RunConfig::new(3, implementation)
+                .wrapper(WrapperConfig::timeout(8))
+                .seed(13)
+                .faults(FaultPlan::burst(kind, SimTime::from(70), 3));
+            let outcome = run_tme(&config);
+            assert!(
+                outcome.verdict.stabilized,
+                "{implementation} did not stabilize after {kind} burst"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavy_mixed_storm_with_many_faults() {
+    // 25 faults of every kind: still a *finite* number, so Theorem 8
+    // applies and the system must stabilize.
+    for implementation in Implementation::ALL {
+        let config = RunConfig::new(4, implementation)
+            .wrapper(WrapperConfig::timeout(8))
+            .seed(21)
+            .workload(WorkloadConfig {
+                n: 4,
+                requests_per_process: 4,
+                mean_think: 40,
+                eat_for: 4,
+                start: 1,
+            })
+            .faults(storm(21, 25));
+        let outcome = run_tme(&config);
+        assert!(
+            outcome.verdict.stabilized,
+            "{implementation} lost to a 25-fault storm"
+        );
+        assert_eq!(outcome.verdict.starved, 0);
+    }
+}
+
+#[test]
+fn eager_wrapper_w_theta_zero_also_stabilizes() {
+    // The paper's W (continuous resend) is the θ=0 endpoint of W'.
+    let config = RunConfig::new(3, Implementation::Lamport)
+        .wrapper(WrapperConfig::eager())
+        .seed(17)
+        .faults(storm(17, 10));
+    let outcome = run_tme(&config);
+    assert!(outcome.verdict.stabilized);
+}
+
+#[test]
+fn unrefined_wrapper_also_stabilizes_but_sends_more() {
+    let run = |wrapper: WrapperConfig| {
+        let config = RunConfig::new(3, Implementation::RicartAgrawala)
+            .wrapper(wrapper)
+            .seed(23)
+            .faults(storm(23, 8));
+        run_tme(&config)
+    };
+    let refined = run(WrapperConfig::timeout(8));
+    let unrefined = run(WrapperConfig::unrefined(8));
+    assert!(refined.verdict.stabilized);
+    assert!(unrefined.verdict.stabilized);
+    assert!(
+        refined.wrapper_resends <= unrefined.wrapper_resends,
+        "refinement must not send more: {} vs {}",
+        refined.wrapper_resends,
+        unrefined.wrapper_resends
+    );
+}
+
+#[test]
+fn deadlock_recovers_at_every_theta() {
+    for theta in [0u64, 2, 8, 32, 128] {
+        let config = RunConfig::new(2, Implementation::RicartAgrawala)
+            .wrapper(WrapperConfig::timeout(theta))
+            .seed(29)
+            .horizon(SimTime::from(10_000));
+        let (_, outcome) = scenarios::deadlock(&config);
+        assert!(outcome.verdict.stabilized, "θ={theta} failed to recover");
+        assert_eq!(outcome.total_entries, 2);
+    }
+}
+
+#[test]
+fn larger_systems_stabilize_too() {
+    let config = RunConfig::new(8, Implementation::RicartAgrawala)
+        .wrapper(WrapperConfig::timeout(8))
+        .seed(37)
+        .workload(WorkloadConfig {
+            n: 8,
+            requests_per_process: 2,
+            mean_think: 60,
+            eat_for: 3,
+            start: 1,
+        })
+        .faults(storm(37, 12));
+    let outcome = run_tme(&config);
+    assert!(outcome.verdict.stabilized);
+}
+
+#[test]
+fn faults_after_quiescence_are_also_recovered() {
+    // Faults that strike when all work is done (thinking, empty channels):
+    // corruption can fabricate hungry/eating states out of thin air; the
+    // system must still converge back to legitimate behaviour.
+    for implementation in Implementation::ALL {
+        let config = RunConfig::new(3, implementation)
+            .wrapper(WrapperConfig::timeout(8))
+            .seed(41)
+            .workload(WorkloadConfig {
+                n: 3,
+                requests_per_process: 1,
+                mean_think: 10,
+                eat_for: 2,
+                start: 1,
+            })
+            // Workload is finished long before t=500.
+            .faults(FaultPlan::burst(
+                FaultKind::CorruptProcess,
+                SimTime::from(500),
+                3,
+            ));
+        let outcome = run_tme(&config);
+        assert!(
+            outcome.verdict.stabilized,
+            "{implementation}: post-quiescence corruption not recovered"
+        );
+    }
+}
+
+#[test]
+fn unwrapped_system_fails_visibly_not_silently() {
+    // The baseline's failure mode is what motivates the paper: verify the
+    // harness actually reports it (no false positives for the wrapper).
+    let config = RunConfig::new(2, Implementation::RicartAgrawala).seed(43);
+    let (_, outcome) = scenarios::deadlock(&config);
+    assert!(!outcome.verdict.stabilized);
+    assert!(outcome.verdict.starved > 0);
+    assert_eq!(outcome.total_entries, 0);
+}
