@@ -6,8 +6,8 @@ use graybox_core::fairness::FairComposition;
 use graybox_core::randsys::{random_subsystem, random_system, random_wrapper_pair};
 use graybox_core::theorems::check_theorem1;
 use graybox_core::{dijkstra, everywhere_implements, figure1, is_stabilizing_to, tme_abstract};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_figure1(c: &mut Criterion) {

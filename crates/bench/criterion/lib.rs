@@ -1,0 +1,2 @@
+//! Criterion benchmark crate (networked, opt-in); see `benches/` and the
+//! comment in this crate's `Cargo.toml`.

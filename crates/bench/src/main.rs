@@ -1,0 +1,310 @@
+//! Offline micro-benchmark harness for the graybox transition engine.
+//!
+//! Times the CSR/bitset engine ([`FiniteSystem`]) against the retained
+//! `BTreeSet` baseline ([`ReferenceSystem`]) on the model-checking hot
+//! paths and writes the results to `BENCH_core.json`. Dependency-free
+//! (plain `std::time::Instant` loops) so it runs in the offline tier-1
+//! environment; the criterion suite in `crates/bench/criterion` is the
+//! networked, statistical counterpart.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p graybox-bench              # full run
+//! cargo run --release -p graybox-bench -- --smoke   # CI smoke (seconds)
+//! cargo run --release -p graybox-bench -- --out p.json
+//! ```
+//!
+//! Every timed section measures **end to end** — building the system
+//! (including, for the CSR engine, its reachability and SCC caches) plus
+//! the query — so the CSR engine is not credited for work it merely moved
+//! into construction.
+
+use std::time::Instant;
+
+use graybox_core::reference::ReferenceSystem;
+use graybox_core::sweep::sweep_seeds_on;
+use graybox_core::{box_compose, is_stabilizing_to, FiniteSystem};
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
+
+/// A bench instance: initial states plus edge list.
+type Instance = (Vec<usize>, Vec<(usize, usize)>);
+
+/// One timed measurement.
+struct Sample {
+    name: String,
+    engine: &'static str,
+    iters: u32,
+    ns_per_iter: f64,
+}
+
+/// Times `f` for a number of iterations calibrated to roughly
+/// `target_ms` of wall clock (bounded, so smoke runs stay fast).
+fn bench<R>(name: &str, engine: &'static str, target_ms: u64, mut f: impl FnMut() -> R) -> Sample {
+    // Calibration pass: one run to size the loop.
+    let once = {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        start.elapsed().as_nanos().max(1)
+    };
+    let target_ns = (target_ms as u128) * 1_000_000;
+    let iters = (target_ns / once).clamp(3, 100_000) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed().as_nanos();
+    let sample = Sample {
+        name: name.to_string(),
+        engine,
+        iters,
+        ns_per_iter: total as f64 / f64::from(iters),
+    };
+    eprintln!(
+        "  {:<44} {:<9} {:>12.0} ns/iter  ({} iters)",
+        sample.name, sample.engine, sample.ns_per_iter, sample.iters
+    );
+    sample
+}
+
+/// The positive ("stabilizing") instance family: a legitimate ring core of
+/// `n / 2` states (only state 0 initial) plus a convergent tail in which
+/// every state `s >= n/2` has a single edge to a random smaller state.
+///
+/// Checked against itself, every tail edge is divergent (tail states are
+/// unreachable from the initial state) but acyclic, so the verdict is
+/// *stabilizing* — the case where the baseline engine cannot short-circuit
+/// and must run one cycle-BFS per divergent edge, `O(n^2)` total, while
+/// the CSR engine decides from one `O(n + e)` SCC pass.
+fn ring_with_tail(n: usize, seed: u64) -> Instance {
+    assert!(n >= 4);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let core = n / 2;
+    let mut edges: Vec<(usize, usize)> = (0..core).map(|s| (s, (s + 1) % core)).collect();
+    for s in core..n {
+        edges.push((s, rng.gen_range(0..s)));
+    }
+    (vec![0], edges)
+}
+
+/// A mixed random family (both verdicts occur): ring core plus a tail
+/// whose edges occasionally jump upward, creating divergent cycles.
+fn random_mixed(n: usize, seed: u64) -> Instance {
+    let (init, mut edges) = ring_with_tail(n, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+    if rng.gen_bool(0.5) {
+        // Upward edge from the tail closes a divergent cycle.
+        let s = rng.gen_range(n / 2..n - 1);
+        edges.push((s, rng.gen_range(s + 1..n)));
+    }
+    (init, edges)
+}
+
+fn build_csr(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
+    FiniteSystem::builder(n)
+        .initials(init.iter().copied())
+        .edges(edges.iter().copied())
+        .build()
+        .expect("bench instances are valid")
+}
+
+fn build_ref(n: usize, init: &[usize], edges: &[(usize, usize)]) -> ReferenceSystem {
+    ReferenceSystem::from_parts(n, init.iter().copied(), edges.iter().copied())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+    // Smoke mode shrinks the per-bench time budget, not the instances, so
+    // it exercises exactly the full-run code paths.
+    let target_ms: u64 = if smoke { 30 } else { 400 };
+    let sizes: &[usize] = &[100, 1_000];
+
+    eprintln!(
+        "graybox-bench ({} mode): CSR/bitset engine vs BTreeSet reference",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // --- Stabilization decision, positive instances (the headline). ---
+    for &n in sizes {
+        let (init, edges) = ring_with_tail(n, 42);
+        // Sanity: the two engines must agree before we time them.
+        let csr = build_csr(n, &init, &edges);
+        let reference = build_ref(n, &init, &edges);
+        let fast = is_stabilizing_to(&csr, &csr);
+        assert!(fast.holds(), "family must be stabilizing");
+        assert_eq!(fast.divergent_edge, reference.is_stabilizing_to(&reference));
+
+        let name = format!("is_stabilizing_to/positive/n={n}");
+        samples.push(bench(&name, "csr", target_ms, || {
+            let sys = build_csr(n, &init, &edges);
+            is_stabilizing_to(&sys, &sys).holds()
+        }));
+        samples.push(bench(&name, "reference", target_ms, || {
+            let sys = build_ref(n, &init, &edges);
+            sys.is_stabilizing_to(&sys).is_none()
+        }));
+    }
+
+    // --- Stabilization decision, mixed verdicts. ---
+    for &n in sizes {
+        let instances: Vec<Instance> = (0..8).map(|seed| random_mixed(n, seed)).collect();
+        let name = format!("is_stabilizing_to/mixed/n={n}");
+        samples.push(bench(&name, "csr", target_ms, || {
+            instances
+                .iter()
+                .filter(|(init, edges)| {
+                    let sys = build_csr(n, init, edges);
+                    is_stabilizing_to(&sys, &sys).holds()
+                })
+                .count()
+        }));
+        samples.push(bench(&name, "reference", target_ms, || {
+            instances
+                .iter()
+                .filter(|(init, edges)| {
+                    let sys = build_ref(n, init, edges);
+                    sys.is_stabilizing_to(&sys).is_none()
+                })
+                .count()
+        }));
+    }
+
+    // --- Reachability closure. ---
+    {
+        let n = 1_000;
+        let (init, edges) = ring_with_tail(n, 7);
+        let csr = build_csr(n, &init, &edges);
+        let reference = build_ref(n, &init, &edges);
+        let name = "reachable_from/n=1000".to_string();
+        samples.push(bench(&name, "csr", target_ms, || {
+            csr.reachable_from(0..n).len()
+        }));
+        samples.push(bench(&name, "reference", target_ms, || {
+            reference.reachable_from(0..n).len()
+        }));
+    }
+
+    // --- Box composition followed by a stabilization query (the shape
+    // every real caller has: compose a wrapper, then model-check the
+    // result — composing alone would hide the CSR engine's eagerly built
+    // caches without crediting the queries they pay for). ---
+    {
+        let n = 1_000;
+        let (init_a, edges_a) = ring_with_tail(n, 11);
+        let (init_b, edges_b) = ring_with_tail(n, 13);
+        let a = build_csr(n, &init_a, &edges_a);
+        let b = build_csr(n, &init_b, &edges_b);
+        let ra = build_ref(n, &init_a, &edges_a);
+        let rb = build_ref(n, &init_b, &edges_b);
+        let name = "box_compose+decide/n=1000".to_string();
+        samples.push(bench(&name, "csr", target_ms, || {
+            let both = box_compose(&a, &b).expect("same space");
+            is_stabilizing_to(&both, &a).holds()
+        }));
+        samples.push(bench(&name, "reference", target_ms, || {
+            let both = ra.box_compose(&rb);
+            both.is_stabilizing_to(&ra).is_none()
+        }));
+    }
+
+    // --- Parallel sweep scaling (CSR engine, one decision per seed). ---
+    {
+        let n = 400;
+        let seeds = 64u64;
+        let decide = |seed: u64| {
+            let (init, edges) = ring_with_tail(n, seed);
+            let sys = build_csr(n, &init, &edges);
+            is_stabilizing_to(&sys, &sys).holds()
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let name = format!("sweep/{seeds}x(n={n})");
+        samples.push(bench(&name, "serial", target_ms, || {
+            sweep_seeds_on(0..seeds, 1, decide).len()
+        }));
+        samples.push(bench(&name, "parallel", target_ms, || {
+            sweep_seeds_on(0..seeds, workers, decide).len()
+        }));
+    }
+
+    // --- Aggregate speedups (baseline ns / new ns, per bench name). ---
+    let speedup = |name: &str, new_engine: &str, base_engine: &str| -> Option<(String, f64)> {
+        let find = |engine: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.engine == engine)
+                .map(|s| s.ns_per_iter)
+        };
+        Some((name.to_string(), find(base_engine)? / find(new_engine)?))
+    };
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for &n in sizes {
+        for family in ["positive", "mixed"] {
+            speedups.extend(speedup(
+                &format!("is_stabilizing_to/{family}/n={n}"),
+                "csr",
+                "reference",
+            ));
+        }
+    }
+    speedups.extend(speedup("reachable_from/n=1000", "csr", "reference"));
+    speedups.extend(speedup("box_compose+decide/n=1000", "csr", "reference"));
+    speedups.extend(speedup("sweep/64x(n=400)", "parallel", "serial"));
+
+    eprintln!();
+    for (name, factor) in &speedups {
+        eprintln!("  speedup {name:<44} {factor:>8.1}x");
+    }
+
+    // --- Emit BENCH_core.json (hand-rolled; no serde offline). ---
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"harness\": \"graybox-bench\",\n  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}{}\n",
+            s.name,
+            s.engine,
+            s.iters,
+            s.ns_per_iter,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedups\": {\n");
+    for (i, (name, factor)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {:.2}{}\n",
+            name,
+            factor,
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_core.json");
+    eprintln!("\nwrote {out_path}");
+
+    // The headline claim the CI smoke also guards: the CSR engine decides
+    // stabilization at n=1000 at least an order of magnitude faster.
+    let headline = speedups
+        .iter()
+        .find(|(name, _)| name == "is_stabilizing_to/positive/n=1000")
+        .map(|&(_, f)| f)
+        .unwrap_or(0.0);
+    assert!(
+        headline >= 10.0,
+        "CSR engine regressed: only {headline:.1}x over the reference at n=1000"
+    );
+}

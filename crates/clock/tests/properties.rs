@@ -1,42 +1,57 @@
 //! Property-based tests for timestamps, clocks, and the happened-before
-//! recorder.
+//! recorder, driven by seeded `graybox-rng` loops so they run offline.
 
 use graybox_clock::{HbRecorder, LamportClock, ProcessId, Timestamp};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 
-fn ts() -> impl Strategy<Value = Timestamp> {
-    (0u64..200, 0u32..6).prop_map(|(time, pid)| Timestamp::new(time, ProcessId(pid)))
+fn ts(rng: &mut SmallRng) -> Timestamp {
+    Timestamp::new(rng.gen_range(0u64..200), ProcessId(rng.gen_range(0u32..6)))
 }
 
-proptest! {
-    #[test]
-    fn lt_is_irreflexive_total_transitive(a in ts(), b in ts(), c in ts()) {
-        prop_assert!(!a.lt(a));
+#[test]
+fn lt_is_irreflexive_total_transitive() {
+    for seed in 0..1_000u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b, c) = (ts(&mut rng), ts(&mut rng), ts(&mut rng));
+        assert!(!a.lt(a), "seed {seed}");
         if a != b {
-            prop_assert!(a.lt(b) ^ b.lt(a));
+            assert!(a.lt(b) ^ b.lt(a), "seed {seed}");
         }
         if a.lt(b) && b.lt(c) {
-            prop_assert!(a.lt(c));
+            assert!(a.lt(c), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn lt_agrees_with_derived_ord(a in ts(), b in ts()) {
-        prop_assert_eq!(a.lt(b), a < b);
+#[test]
+fn lt_agrees_with_derived_ord() {
+    for seed in 0..1_000u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (ts(&mut rng), ts(&mut rng));
+        assert_eq!(a.lt(b), a < b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn distinct_pids_never_tie(time in 0u64..50, p in 0u32..6, q in 0u32..6) {
-        prop_assume!(p != q);
-        let a = Timestamp::new(time, ProcessId(p));
-        let b = Timestamp::new(time, ProcessId(q));
-        prop_assert!(a.lt(b) ^ b.lt(a));
+#[test]
+fn distinct_pids_never_tie() {
+    for time in 0u64..50 {
+        for p in 0u32..6 {
+            for q in 0u32..6 {
+                if p == q {
+                    continue;
+                }
+                let a = Timestamp::new(time, ProcessId(p));
+                let b = Timestamp::new(time, ProcessId(q));
+                assert!(a.lt(b) ^ b.lt(a), "time {time} pids {p},{q}");
+            }
+        }
     }
+}
 
-    #[test]
-    fn clock_now_is_monotone_under_any_event_mix(seed in 0u64..1_000) {
+#[test]
+fn clock_now_is_monotone_under_any_event_mix() {
+    for seed in 0..1_000u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut clock = LamportClock::new(ProcessId(0));
         let mut previous = clock.now();
@@ -51,13 +66,15 @@ proptest! {
                 }
             }
             let now = clock.now();
-            prop_assert!(now >= previous, "clock went backwards");
+            assert!(now >= previous, "seed {seed}: clock went backwards");
             previous = now;
         }
     }
+}
 
-    #[test]
-    fn hb_is_a_strict_partial_order(seed in 0u64..500) {
+#[test]
+fn hb_is_a_strict_partial_order() {
+    for seed in 0..500u64 {
         // Build a random event history over 3 processes, then check
         // irreflexivity, antisymmetry, transitivity on all event pairs.
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -84,22 +101,27 @@ proptest! {
             }
         }
         for &a in &events {
-            prop_assert!(!rec.happened_before(a, a));
+            assert!(!rec.happened_before(a, a), "seed {seed}");
             for &b in &events {
                 if rec.happened_before(a, b) {
-                    prop_assert!(!rec.happened_before(b, a), "hb not antisymmetric");
+                    assert!(
+                        !rec.happened_before(b, a),
+                        "seed {seed}: hb not antisymmetric"
+                    );
                 }
                 for &c in &events {
                     if rec.happened_before(a, b) && rec.happened_before(b, c) {
-                        prop_assert!(rec.happened_before(a, c), "hb not transitive");
+                        assert!(rec.happened_before(a, c), "seed {seed}: hb not transitive");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn same_process_events_are_totally_ordered(count in 2usize..20) {
+#[test]
+fn same_process_events_are_totally_ordered() {
+    for count in 2usize..20 {
         let mut rec = HbRecorder::new(1);
         let events: Vec<_> = (0..count).map(|_| rec.local_event(ProcessId(0))).collect();
         for (i, &a) in events.iter().enumerate() {

@@ -12,9 +12,7 @@
 //! pit the two deciders against each other on thousands of random
 //! instances ([`crate::randsys`]).
 
-use std::collections::BTreeSet;
-
-use crate::FiniteSystem;
+use crate::{FiniteSystem, StateSet};
 
 /// Enumerates every simple cycle of the system (as edge lists). Only
 /// sensible for small systems (≤ ~10 states).
@@ -23,9 +21,13 @@ pub fn simple_cycles(sys: &FiniteSystem) -> Vec<Vec<(usize, usize)>> {
     let n = sys.num_states();
     // For each start state, DFS over paths that only visit states >= start
     // (Johnson-style canonicalization to avoid duplicates).
+    let mut path: Vec<usize> = Vec::with_capacity(n);
+    let mut on_path = StateSet::with_capacity(n);
     for start in 0..n {
-        let mut path: Vec<usize> = vec![start];
-        let mut on_path: BTreeSet<usize> = BTreeSet::from([start]);
+        path.clear();
+        path.push(start);
+        on_path.clear();
+        on_path.insert(start);
         dfs(sys, start, start, &mut path, &mut on_path, &mut cycles);
     }
     cycles
@@ -36,20 +38,20 @@ fn dfs(
     start: usize,
     current: usize,
     path: &mut Vec<usize>,
-    on_path: &mut BTreeSet<usize>,
+    on_path: &mut StateSet,
     cycles: &mut Vec<Vec<(usize, usize)>>,
 ) {
-    for next in sys.successors(current).collect::<Vec<_>>() {
+    for &next in sys.successors_slice(current) {
         if next == start {
             let mut cycle: Vec<(usize, usize)> = path.windows(2).map(|w| (w[0], w[1])).collect();
             cycle.push((current, start));
             cycles.push(cycle);
-        } else if next > start && !on_path.contains(&next) {
+        } else if next > start && !on_path.contains(next) {
             path.push(next);
             on_path.insert(next);
             dfs(sys, start, next, path, on_path, cycles);
             path.pop();
-            on_path.remove(&next);
+            on_path.remove(next);
         }
     }
 }
@@ -69,7 +71,7 @@ pub fn is_stabilizing_bruteforce(c: &FiniteSystem, a: &FiniteSystem) -> bool {
     }
     let legitimate = a.reachable_from_init();
     let edge_ok = |(from, to): (usize, usize)| {
-        a.has_edge(from, to) && legitimate.contains(&from) && legitimate.contains(&to)
+        a.has_edge(from, to) && legitimate.contains(from) && legitimate.contains(to)
     };
     simple_cycles(c)
         .iter()
@@ -81,8 +83,8 @@ mod tests {
     use super::*;
     use crate::randsys::{random_subsystem, random_system};
     use crate::{figure1, is_stabilizing_to};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
         FiniteSystem::builder(n)

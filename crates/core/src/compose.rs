@@ -34,11 +34,9 @@ pub fn box_compose(c: &FiniteSystem, w: &FiniteSystem) -> Result<FiniteSystem, S
             num_states: c.num_states().min(w.num_states()),
         });
     }
-    FiniteSystem::builder(c.num_states())
-        .initials(c.init().intersection(w.init()).copied())
-        .edges(c.edges().iter().copied())
-        .edges(w.edges().iter().copied())
-        .build()
+    // Merge the sorted CSR rows directly; the union of two total relations
+    // is total, so re-validating through the builder is unnecessary.
+    Ok(c.box_union(w))
 }
 
 #[cfg(test)]
@@ -58,7 +56,7 @@ mod tests {
         let c = sys(3, &[0, 1], &[(0, 1), (1, 2), (2, 2)]);
         let w = sys(3, &[1, 2], &[(0, 0), (1, 1), (2, 0)]);
         let both = box_compose(&c, &w).unwrap();
-        assert_eq!(both.init().iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(both.init().iter().collect::<Vec<_>>(), vec![1]);
         assert_eq!(both.edges().len(), 6);
     }
 

@@ -203,11 +203,11 @@ mod tests {
     fn legitimate_states_are_closed_under_protocol() {
         let ring = ring(3, 3).unwrap();
         let legit = ring.spec().init();
-        for &state in legit {
+        for state in legit {
             for next in ring.fair().union().successors(state) {
                 if next != state {
                     assert!(
-                        legit.contains(&next),
+                        legit.contains(next),
                         "legit state {state} stepped to illegitimate {next}"
                     );
                 }

@@ -87,46 +87,46 @@ impl FairComposition {
         let legitimate = a.reachable_from_init();
         if self.union.num_states() != a.num_states() {
             return StabilizationReport {
-                divergent_edge: self.union.edges().iter().next().copied(),
-                legitimate_states: legitimate,
+                divergent_edge: self.union.edges().iter().next(),
+                legitimate_states: legitimate.clone(),
             };
         }
-        let divergent = |from: usize, to: usize| {
-            !(a.has_edge(from, to) && legitimate.contains(&from) && legitimate.contains(&to))
-        };
-        for scc in strongly_connected_components(&self.union) {
-            // Edges usable forever inside this SCC.
-            let inner = |sys: &FiniteSystem| {
-                sys.edges()
-                    .iter()
-                    .copied()
-                    .filter(|&(from, to)| scc.contains(&from) && scc.contains(&to))
-                    .collect::<Vec<_>>()
-            };
-            let union_inner = inner(&self.union);
-            if union_inner.is_empty() {
-                continue; // trivial SCC: no computation stays here
+        // One pass over each component's edges marks, per union-SCC, how
+        // many components can act inside it (an edge (u, v) is inside its
+        // SCC iff scc[u] == scc[v]); one pass over the union's edges then
+        // looks for a divergent inner edge of a fully-represented SCC.
+        // Replaces the per-SCC edge rescans: O(Σ|E_i| + E) total.
+        let scc = self.union.scc_ids();
+        let ncomp = self.components.len();
+        let mut present = vec![0usize; self.union.scc_count()];
+        let mut last_seen = vec![usize::MAX; self.union.scc_count()];
+        for (ci, component) in self.components.iter().enumerate() {
+            for (from, to) in component.edges() {
+                let id = scc[from];
+                if scc[to] == id && last_seen[id] != ci {
+                    last_seen[id] = ci;
+                    present[id] += 1;
+                }
             }
-            let bad = union_inner
-                .iter()
-                .copied()
-                .find(|&(from, to)| divergent(from, to));
-            let Some(bad_edge) = bad else { continue };
+        }
+        for (from, to) in self.union.edges() {
+            let id = scc[from];
             // Fairness: every component must be able to act inside the SCC.
-            let all_fairly_present = self
-                .components
-                .iter()
-                .all(|component| !inner(component).is_empty());
-            if all_fairly_present {
+            if scc[to] != id || present[id] != ncomp {
+                continue;
+            }
+            let divergent =
+                !(legitimate.contains(from) && legitimate.contains(to) && a.has_edge(from, to));
+            if divergent {
                 return StabilizationReport {
-                    divergent_edge: Some(bad_edge),
-                    legitimate_states: legitimate,
+                    divergent_edge: Some((from, to)),
+                    legitimate_states: legitimate.clone(),
                 };
             }
         }
         StabilizationReport {
             divergent_edge: None,
-            legitimate_states: legitimate,
+            legitimate_states: legitimate.clone(),
         }
     }
 }
@@ -159,66 +159,13 @@ pub fn check_fair_theorem1(
     })
 }
 
-/// Tarjan's algorithm, iteratively, over a system's edge relation.
-/// Returns the list of SCCs as state sets.
+/// The strongly connected components of a system's edge relation, as
+/// state sets in Tarjan completion order (reverse topological). Reads the
+/// SCC ids cached on the system at build time.
 pub fn strongly_connected_components(sys: &FiniteSystem) -> Vec<BTreeSet<usize>> {
-    let n = sys.num_states();
-    let mut index = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    let mut result = Vec::new();
-
-    // Iterative DFS with an explicit call stack of (state, successor iter position).
-    for root in 0..n {
-        if index[root] != usize::MAX {
-            continue;
-        }
-        let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-        let succs: Vec<usize> = sys.successors(root).collect();
-        index[root] = next_index;
-        low[root] = next_index;
-        next_index += 1;
-        stack.push(root);
-        on_stack[root] = true;
-        call.push((root, succs, 0));
-        while let Some((state, succs, pos)) = call.last_mut() {
-            if *pos < succs.len() {
-                let next = succs[*pos];
-                *pos += 1;
-                if index[next] == usize::MAX {
-                    index[next] = next_index;
-                    low[next] = next_index;
-                    next_index += 1;
-                    stack.push(next);
-                    on_stack[next] = true;
-                    let next_succs: Vec<usize> = sys.successors(next).collect();
-                    call.push((next, next_succs, 0));
-                } else if on_stack[next] {
-                    let state = *state;
-                    low[state] = low[state].min(index[next]);
-                }
-            } else {
-                let state = *state;
-                call.pop();
-                if let Some((parent, _, _)) = call.last() {
-                    let parent = *parent;
-                    low[parent] = low[parent].min(low[state]);
-                }
-                if low[state] == index[state] {
-                    let mut scc = BTreeSet::new();
-                    while let Some(member) = stack.pop() {
-                        on_stack[member] = false;
-                        scc.insert(member);
-                        if member == state {
-                            break;
-                        }
-                    }
-                    result.push(scc);
-                }
-            }
-        }
+    let mut result = vec![BTreeSet::new(); sys.scc_count()];
+    for (state, &id) in sys.scc_ids().iter().enumerate() {
+        result[id].insert(state);
     }
     result
 }

@@ -87,9 +87,9 @@ mod tests {
     fn fault_state_is_illegitimate() {
         let (a, c) = systems();
         let report = is_stabilizing_to(&c, &a);
-        assert!(!report.legitimate_states.contains(&S_STAR));
-        assert!(report.legitimate_states.contains(&S0));
-        assert!(report.legitimate_states.contains(&S3));
+        assert!(!report.legitimate_states.contains(S_STAR));
+        assert!(report.legitimate_states.contains(S0));
+        assert!(report.legitimate_states.contains(S3));
         let _ = a;
     }
 

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 pub mod bruteforce;
 mod compose;
 pub mod dijkstra;
@@ -50,7 +51,9 @@ pub mod figure1;
 pub mod gcl;
 pub mod method;
 pub mod randsys;
+pub mod reference;
 mod relations;
+pub mod sweep;
 pub mod synthesis;
 mod system;
 pub mod theorems;
@@ -58,8 +61,9 @@ pub mod tme_abstract;
 pub mod tolerance;
 pub mod unity;
 
+pub use bitset::StateSet;
 pub use compose::box_compose;
 pub use relations::{
     everywhere_implements, implements_from_init, is_stabilizing_to, StabilizationReport,
 };
-pub use system::{FiniteSystem, SystemBuilder, SystemError};
+pub use system::{Edges, FiniteSystem, SystemBuilder, SystemError};

@@ -23,12 +23,10 @@
 //! inconsistency, the optimistic level-2 alone cannot fix internal
 //! corruption, and the two together stabilize.
 
-use std::collections::BTreeSet;
-
 use crate::fairness::FairComposition;
 use crate::synthesis::{stutter_closure, synthesize_reset_wrapper};
 use crate::theorems::LocalFamily;
-use crate::{FiniteSystem, SystemError};
+use crate::{FiniteSystem, StateSet, SystemError};
 
 /// A §2.2 design: per-process level-1 wrappers (already lifted to the
 /// global space) plus one global level-2 wrapper.
@@ -113,7 +111,7 @@ pub fn synthesize_level2(
             num_states: total.min(target.num_states()),
         });
     }
-    let locally_legit: Vec<BTreeSet<usize>> = (0..family.len())
+    let locally_legit: Vec<&StateSet> = (0..family.len())
         .map(|i| family.local(i).reachable_from_init())
         .collect();
     let internally_consistent = |global: usize| {
@@ -124,7 +122,7 @@ pub fn synthesize_level2(
             .all(|(part, legit)| legit.contains(part))
     };
     let target_legit = target.reachable_from_init();
-    let recovery = *target
+    let recovery = target
         .init()
         .iter()
         .next()
@@ -132,7 +130,7 @@ pub fn synthesize_level2(
     let mut builder = FiniteSystem::builder(total);
     for state in 0..total {
         builder = builder.initial(state);
-        if internally_consistent(state) && !target_legit.contains(&state) {
+        if internally_consistent(state) && !target_legit.contains(state) {
             builder = builder.edge(state, recovery);
         } else {
             builder = builder.edge(state, state);
@@ -225,7 +223,7 @@ mod tests {
         let level1 = synthesize_level1(&family()).unwrap();
         let f = family();
         for (i, wrapper) in level1.iter().enumerate() {
-            for &(from, to) in wrapper.edges() {
+            for (from, to) in wrapper.edges() {
                 let (pf, pt) = (f.decode(from), f.decode(to));
                 for (component, (a, b)) in pf.iter().zip(&pt).enumerate() {
                     if component != i {

@@ -3,11 +3,11 @@
 //! The theorem checkers in [`crate::theorems`] and [`crate::fairness`] are
 //! universally quantified statements; these generators let the test suite
 //! instantiate them on thousands of random systems. Everything is driven by
-//! a caller-supplied [`rand::Rng`], so failures are reproducible from the
+//! a caller-supplied [`graybox_rng::Rng`], so failures are reproducible from the
 //! seed.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use graybox_rng::seq::SliceRandom;
+use graybox_rng::Rng;
 
 use crate::{FiniteSystem, SystemBuilder};
 
@@ -53,7 +53,7 @@ pub fn random_system<R: Rng>(
 pub fn random_subsystem<R: Rng>(rng: &mut R, spec: &FiniteSystem) -> FiniteSystem {
     let mut builder = FiniteSystem::builder(spec.num_states());
     builder = keep_total_subset(rng, spec, builder);
-    let inits: Vec<usize> = spec.init().iter().copied().collect();
+    let inits: Vec<usize> = spec.init().iter().collect();
     let mut any = false;
     for &init in &inits {
         if rng.gen_bool(0.7) {
@@ -106,8 +106,8 @@ pub fn random_wrapper_pair<R: Rng>(
 mod tests {
     use super::*;
     use crate::{everywhere_implements, implements_from_init};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     #[test]
     fn random_system_is_well_formed() {

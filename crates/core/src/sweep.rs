@@ -1,0 +1,155 @@
+//! Dependency-free parallel sweep driver.
+//!
+//! The cross-validation suites and the `experiments` harness all have the
+//! same shape: evaluate a pure function of a seed over thousands of seeds
+//! and aggregate the results. This module fans such sweeps out over the
+//! machine's cores with `std::thread::scope` — no rayon, no channels, no
+//! unsafe — while keeping the output **deterministic**: results come back
+//! in seed order regardless of how the OS schedules the workers, so a
+//! sweep's aggregate (medians, tables, BENCH json) is reproducible.
+//!
+//! Work is distributed dynamically (an atomic cursor over the seed range),
+//! so a few slow seeds — e.g. random systems that happen to have large
+//! SCCs — do not idle the other workers, and speedup stays near-linear.
+//!
+//! # Example
+//!
+//! ```
+//! use graybox_core::sweep::sweep_seeds;
+//!
+//! let squares = sweep_seeds(0..100u64, |seed| seed * seed);
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares.len(), 100);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads; sweeps are CPU-bound, so there is no
+/// point oversubscribing far beyond the core count.
+fn worker_count(jobs: u64) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(jobs as usize).max(1)
+}
+
+/// Runs `f(seed)` for every seed in `seeds` across all cores and returns
+/// the results **in seed order**.
+///
+/// `f` must be pure per seed (it may not rely on call order); it is called
+/// exactly once per seed. Panics in `f` propagate: the sweep panics after
+/// all workers unwind, so a failing property inside a sweep still fails
+/// the enclosing test.
+pub fn sweep_seeds<T, F>(seeds: Range<u64>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let jobs = seeds.end.saturating_sub(seeds.start);
+    sweep_seeds_on(seeds, worker_count(jobs), f)
+}
+
+/// [`sweep_seeds`] with an explicit worker count (1 = sequential).
+///
+/// The bench harness uses this to measure scaling; everything else should
+/// call [`sweep_seeds`].
+pub fn sweep_seeds_on<T, F>(seeds: Range<u64>, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let start = seeds.start;
+    let len = seeds.end.saturating_sub(seeds.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len as usize);
+    if workers == 1 {
+        return seeds.map(f).collect();
+    }
+
+    // Dynamic scheduling: workers pull small batches off a shared cursor,
+    // collect (index, result) locally, and the merged output is sorted by
+    // index. All-safe and allocation-light; the mutex is touched once per
+    // worker, not per seed.
+    let cursor = AtomicU64::new(0);
+    let batch = (len / (workers as u64 * 8)).clamp(1, 1024);
+    let collected: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(len as usize));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(u64, T)> = Vec::new();
+                loop {
+                    let first = cursor.fetch_add(batch, Ordering::Relaxed);
+                    if first >= len {
+                        break;
+                    }
+                    let last = (first + batch).min(len);
+                    for offset in first..last {
+                        local.push((offset, f(start + offset)));
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("a sweep worker panicked")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut indexed = collected.into_inner().expect("a sweep worker panicked");
+    indexed.sort_unstable_by_key(|&(offset, _)| offset);
+    debug_assert_eq!(indexed.len() as u64, len);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_seed_order() {
+        let out = sweep_seeds(10..210u64, |seed| seed * 3);
+        assert_eq!(out.len(), 200);
+        for (i, value) in out.iter().enumerate() {
+            assert_eq!(*value, (10 + i as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let out: Vec<u64> = sweep_seeds(5..5u64, |s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_seed_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = sweep_seeds_on(0..1_000u64, 7, |seed| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            seed
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1_000);
+        assert_eq!(out, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let seq = sweep_seeds_on(0..257u64, 1, |s| s.wrapping_mul(0x9E3779B9));
+        let par = sweep_seeds_on(0..257u64, 4, |s| s.wrapping_mul(0x9E3779B9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        sweep_seeds(0..64u64, |seed| {
+            if seed == 37 {
+                panic!("boom at 37");
+            }
+            seed
+        });
+    }
+}

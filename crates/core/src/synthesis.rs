@@ -36,9 +36,9 @@ use crate::{FiniteSystem, SystemError};
 pub fn stutter_closure(a: &FiniteSystem) -> FiniteSystem {
     let legitimate = a.reachable_from_init();
     FiniteSystem::builder(a.num_states())
-        .initials(a.init().iter().copied())
-        .edges(a.edges().iter().copied())
-        .edges(legitimate.iter().map(|&s| (s, s)))
+        .initials(a.init().iter())
+        .edges(a.edges())
+        .edges(legitimate.iter().map(|s| (s, s)))
         .build()
         .expect("adding self-loops preserves totality")
 }
@@ -51,7 +51,7 @@ pub fn stutter_closure(a: &FiniteSystem) -> FiniteSystem {
 ///
 /// Panics if `a` has no initial state (no recovery target exists).
 pub fn synthesize_reset_wrapper(a: &FiniteSystem) -> FiniteSystem {
-    let target = *a
+    let target = a
         .init()
         .iter()
         .next()
@@ -60,7 +60,7 @@ pub fn synthesize_reset_wrapper(a: &FiniteSystem) -> FiniteSystem {
     let mut builder = FiniteSystem::builder(a.num_states());
     for state in 0..a.num_states() {
         builder = builder.initial(state); // the wrapper starts anywhere
-        if legitimate.contains(&state) {
+        if legitimate.contains(state) {
             builder = builder.edge(state, state);
         } else {
             builder = builder.edge(state, target);
@@ -82,7 +82,7 @@ pub fn synthesize_reset_wrapper(a: &FiniteSystem) -> FiniteSystem {
 /// immediately.
 pub fn synthesize_guided_wrapper(a: &FiniteSystem) -> FiniteSystem {
     let legitimate = a.reachable_from_init();
-    let target = *a
+    let target = a
         .init()
         .iter()
         .next()
@@ -90,7 +90,7 @@ pub fn synthesize_guided_wrapper(a: &FiniteSystem) -> FiniteSystem {
     let mut builder = FiniteSystem::builder(a.num_states());
     for state in 0..a.num_states() {
         builder = builder.initial(state);
-        if legitimate.contains(&state) {
+        if legitimate.contains(state) {
             builder = builder.edge(state, state);
         } else {
             let step = a.successors(state).find(|next| legitimate.contains(next));
@@ -118,8 +118,8 @@ mod tests {
     use crate::fairness::check_fair_theorem1;
     use crate::randsys::{random_subsystem, random_system};
     use crate::{figure1, is_stabilizing_to};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     #[test]
     fn reset_wrapper_fixes_figure1_c() {

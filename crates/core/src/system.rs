@@ -1,5 +1,6 @@
-use std::collections::BTreeSet;
 use std::fmt;
+
+use crate::bitset::StateSet;
 
 /// Error raised when a [`SystemBuilder`] describes something that is not a
 /// system in the paper's sense.
@@ -49,6 +50,19 @@ impl std::error::Error for SystemError {}
 /// Specifications (abstract systems) and implementations (concrete systems)
 /// are both values of this one type, as in the paper.
 ///
+/// # Representation
+///
+/// The transition relation is stored in compressed-sparse-row (CSR) form:
+/// a flat, per-source-sorted successor array plus `num_states + 1` row
+/// offsets, and the mirrored reverse CSR for predecessor queries. State
+/// sets (initial states, reachability closures) are dense [`StateSet`]
+/// bitsets. Two closures every relation check needs are computed once at
+/// build time, in `O(V + E)` total: the init-reachable set and the
+/// strongly-connected-component id of every state (iterative Tarjan, so
+/// SCC ids come out in reverse topological order). Both are pure functions
+/// of `(init, edges)`, which keeps `build` deterministic and equality
+/// well-defined.
+///
 /// # Example
 ///
 /// ```
@@ -61,14 +75,48 @@ impl std::error::Error for SystemError {}
 ///     .edge(1, 0)
 ///     .build()?;
 /// assert!(sys.has_edge(0, 1));
-/// assert_eq!(sys.reachable_from_init(), [0, 1].into_iter().collect());
+/// assert_eq!(*sys.reachable_from_init(), [0, 1].into_iter().collect::<graybox_core::StateSet>());
 /// # Ok::<(), graybox_core::SystemError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct FiniteSystem {
     num_states: usize,
-    init: BTreeSet<usize>,
-    edges: BTreeSet<(usize, usize)>,
+    init: StateSet,
+    /// CSR row offsets into `fwd_to`; length `num_states + 1`.
+    fwd_off: Vec<usize>,
+    /// Flat successor array, sorted and deduplicated per row.
+    fwd_to: Vec<usize>,
+    /// Reverse-CSR row offsets into `rev_from`; length `num_states + 1`.
+    rev_off: Vec<usize>,
+    /// Flat predecessor array, sorted per row.
+    rev_from: Vec<usize>,
+    /// Cached closure of `init` under the transition relation.
+    init_reachable: StateSet,
+    /// Cached SCC id per state (Tarjan pop order: reverse topological).
+    scc_id: Vec<usize>,
+    scc_count: usize,
+}
+
+impl PartialEq for FiniteSystem {
+    fn eq(&self, other: &Self) -> bool {
+        // The caches are pure functions of these fields.
+        self.num_states == other.num_states
+            && self.init == other.init
+            && self.fwd_off == other.fwd_off
+            && self.fwd_to == other.fwd_to
+    }
+}
+
+impl Eq for FiniteSystem {}
+
+impl fmt::Debug for FiniteSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FiniteSystem")
+            .field("num_states", &self.num_states)
+            .field("init", &self.init)
+            .field("edges", &self.edges().iter().collect::<Vec<_>>())
+            .finish()
+    }
 }
 
 impl FiniteSystem {
@@ -76,9 +124,53 @@ impl FiniteSystem {
     pub fn builder(num_states: usize) -> SystemBuilder {
         SystemBuilder {
             num_states,
-            init: BTreeSet::new(),
-            edges: BTreeSet::new(),
+            init: Vec::new(),
+            edges: Vec::new(),
         }
+    }
+
+    /// Constructs the CSR form and caches from validated parts: `edges`
+    /// must be sorted, deduplicated, in-range, and total.
+    fn from_sorted_parts(num_states: usize, init: StateSet, edges: &[(usize, usize)]) -> Self {
+        let mut fwd_off = vec![0usize; num_states + 1];
+        for &(from, _) in edges {
+            fwd_off[from + 1] += 1;
+        }
+        for i in 0..num_states {
+            fwd_off[i + 1] += fwd_off[i];
+        }
+        let fwd_to: Vec<usize> = edges.iter().map(|&(_, to)| to).collect();
+
+        // Reverse CSR by counting sort on the target column; scanning the
+        // sorted forward edges keeps each reverse row sorted by source.
+        let mut rev_off = vec![0usize; num_states + 1];
+        for &(_, to) in edges {
+            rev_off[to + 1] += 1;
+        }
+        for i in 0..num_states {
+            rev_off[i + 1] += rev_off[i];
+        }
+        let mut cursor = rev_off.clone();
+        let mut rev_from = vec![0usize; edges.len()];
+        for &(from, to) in edges {
+            rev_from[cursor[to]] = from;
+            cursor[to] += 1;
+        }
+
+        let mut sys = FiniteSystem {
+            num_states,
+            init,
+            fwd_off,
+            fwd_to,
+            rev_off,
+            rev_from,
+            init_reachable: StateSet::new(),
+            scc_id: Vec::new(),
+            scc_count: 0,
+        };
+        sys.init_reachable = sys.reachable_from(sys.init.iter());
+        (sys.scc_id, sys.scc_count) = sys.compute_sccs();
+        sys
     }
 
     /// Number of states in the state space Σ.
@@ -87,34 +179,58 @@ impl FiniteSystem {
     }
 
     /// The set of initial states.
-    pub fn init(&self) -> &BTreeSet<usize> {
+    pub fn init(&self) -> &StateSet {
         &self.init
     }
 
-    /// The transition relation, as a sorted edge set.
-    pub fn edges(&self) -> &BTreeSet<(usize, usize)> {
-        &self.edges
+    /// The transition relation, as a sorted edge-set view.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { sys: self }
+    }
+
+    /// Number of transitions.
+    pub fn edge_count(&self) -> usize {
+        self.fwd_to.len()
     }
 
     /// True when `(from, to)` is a transition of this system.
     pub fn has_edge(&self, from: usize, to: usize) -> bool {
-        self.edges.contains(&(from, to))
+        from < self.num_states && self.successors_slice(from).binary_search(&to).is_ok()
     }
 
-    /// Successors of `state`.
+    /// Successors of `state`, ascending.
     pub fn successors(&self, state: usize) -> impl Iterator<Item = usize> + '_ {
-        self.edges
-            .range((state, 0)..=(state, usize::MAX))
-            .map(|&(_, to)| to)
+        self.successors_slice(state).iter().copied()
+    }
+
+    /// Successors of `state` as a sorted slice — the allocation-free view
+    /// for hot loops.
+    pub fn successors_slice(&self, state: usize) -> &[usize] {
+        &self.fwd_to[self.fwd_off[state]..self.fwd_off[state + 1]]
+    }
+
+    /// Predecessors of `state`, ascending.
+    pub fn predecessors(&self, state: usize) -> impl Iterator<Item = usize> + '_ {
+        self.predecessors_slice(state).iter().copied()
+    }
+
+    /// Predecessors of `state` as a sorted slice (reverse CSR).
+    pub fn predecessors_slice(&self, state: usize) -> &[usize] {
+        &self.rev_from[self.rev_off[state]..self.rev_off[state + 1]]
     }
 
     /// States reachable from the given seed set by following transitions
     /// (the seeds themselves included).
-    pub fn reachable_from(&self, seeds: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
-        let mut seen: BTreeSet<usize> = seeds.into_iter().collect();
-        let mut frontier: Vec<usize> = seen.iter().copied().collect();
+    pub fn reachable_from(&self, seeds: impl IntoIterator<Item = usize>) -> StateSet {
+        let mut seen = StateSet::with_capacity(self.num_states);
+        let mut frontier: Vec<usize> = Vec::new();
+        for seed in seeds {
+            if seen.insert(seed) {
+                frontier.push(seed);
+            }
+        }
         while let Some(state) = frontier.pop() {
-            for next in self.successors(state) {
+            for &next in self.successors_slice(state) {
                 if seen.insert(next) {
                     frontier.push(next);
                 }
@@ -123,17 +239,55 @@ impl FiniteSystem {
         seen
     }
 
-    /// States on computations that start from an initial state.
-    pub fn reachable_from_init(&self) -> BTreeSet<usize> {
-        self.reachable_from(self.init.iter().copied())
+    /// States on computations that start from an initial state. Computed
+    /// once at build time; this is a cache read.
+    pub fn reachable_from_init(&self) -> &StateSet {
+        &self.init_reachable
+    }
+
+    /// The strongly-connected-component id of every state, indexed by
+    /// state. Ids are assigned in Tarjan completion order, so they are in
+    /// reverse topological order of the condensation. Computed once at
+    /// build time.
+    ///
+    /// An edge `(u, v)` of the system lies on a cycle exactly when
+    /// `scc_ids()[u] == scc_ids()[v]` — the `O(1)` test behind
+    /// [`is_stabilizing_to`](crate::is_stabilizing_to).
+    pub fn scc_ids(&self) -> &[usize] {
+        &self.scc_id
+    }
+
+    /// Number of strongly connected components.
+    pub fn scc_count(&self) -> usize {
+        self.scc_count
     }
 
     /// True when there is a path (of length ≥ 1) from `from` to `to`.
     pub fn has_path(&self, from: usize, to: usize) -> bool {
-        let mut seen = BTreeSet::new();
+        if from != to && self.scc_id[from] == self.scc_id[to] {
+            return true; // both on a common cycle
+        }
+        if from == to {
+            // A length ≥ 1 path back to itself needs a self-loop or a
+            // nontrivial SCC around `from`.
+            if self.has_edge(from, from) {
+                return true;
+            }
+            let id = self.scc_id[from];
+            if self
+                .successors_slice(from)
+                .iter()
+                .any(|&next| next != from && self.scc_id[next] == id)
+            {
+                return true;
+            }
+            return false;
+        }
+        // Cross-SCC query: plain BFS over the CSR rows.
+        let mut seen = StateSet::with_capacity(self.num_states);
         let mut frontier = vec![from];
         while let Some(state) = frontier.pop() {
-            for next in self.successors(state) {
+            for &next in self.successors_slice(state) {
                 if next == to {
                     return true;
                 }
@@ -166,6 +320,102 @@ impl FiniteSystem {
         }
         result
     }
+
+    /// The box composition `self ⊓ other` over a shared state space: edge
+    /// union by merging the sorted CSR rows, init intersection by bitwise
+    /// AND. Callers validate `num_states` agreement.
+    pub(crate) fn box_union(&self, other: &FiniteSystem) -> FiniteSystem {
+        debug_assert_eq!(self.num_states, other.num_states);
+        let mut edges = Vec::with_capacity(self.edge_count().max(other.edge_count()));
+        for state in 0..self.num_states {
+            let (a, b) = (self.successors_slice(state), other.successors_slice(state));
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                let next = match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        a[i - 1]
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        b[j - 1]
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        a[i - 1]
+                    }
+                };
+                edges.push((state, next));
+            }
+            edges.extend(a[i..].iter().map(|&to| (state, to)));
+            edges.extend(b[j..].iter().map(|&to| (state, to)));
+        }
+        FiniteSystem::from_sorted_parts(
+            self.num_states,
+            self.init.intersection(&other.init),
+            &edges,
+        )
+    }
+
+    /// Iterative Tarjan over the CSR rows; no per-state allocation.
+    fn compute_sccs(&self) -> (Vec<usize>, usize) {
+        let n = self.num_states;
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_id = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        // Explicit call stack of (state, position within its CSR row).
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        let mut next_index = 0usize;
+        let mut next_scc = 0usize;
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            call.push((root, 0));
+            while let Some(&mut (state, ref mut pos)) = call.last_mut() {
+                let row = self.successors_slice(state);
+                if *pos < row.len() {
+                    let next = row[*pos];
+                    *pos += 1;
+                    if index[next] == usize::MAX {
+                        index[next] = next_index;
+                        low[next] = next_index;
+                        next_index += 1;
+                        stack.push(next);
+                        on_stack[next] = true;
+                        call.push((next, 0));
+                    } else if on_stack[next] {
+                        low[state] = low[state].min(index[next]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[state]);
+                    }
+                    if low[state] == index[state] {
+                        while let Some(member) = stack.pop() {
+                            on_stack[member] = false;
+                            scc_id[member] = next_scc;
+                            if member == state {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    }
+                }
+            }
+        }
+        (scc_id, next_scc)
+    }
 }
 
 impl fmt::Display for FiniteSystem {
@@ -175,8 +425,99 @@ impl fmt::Display for FiniteSystem {
             "system({} states, init {:?}, {} edges)",
             self.num_states,
             self.init,
-            self.edges.len()
+            self.edge_count()
         )
+    }
+}
+
+/// Sorted view of a system's transition relation, yielded by
+/// [`FiniteSystem::edges`]. Iterates `(from, to)` pairs in lexicographic
+/// order straight off the CSR rows.
+#[derive(Clone, Copy)]
+pub struct Edges<'a> {
+    sys: &'a FiniteSystem,
+}
+
+impl<'a> Edges<'a> {
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.sys.edge_count()
+    }
+
+    /// True when the system has no transitions (impossible for a built
+    /// system, which is total).
+    pub fn is_empty(&self) -> bool {
+        self.sys.edge_count() == 0
+    }
+
+    /// Iterates the edges in lexicographic order.
+    pub fn iter(&self) -> EdgeIter<'a> {
+        EdgeIter {
+            sys: self.sys,
+            state: 0,
+            pos: 0,
+        }
+    }
+
+    /// True when every edge of `self` is an edge of `other` — a merge walk
+    /// over each pair of sorted CSR rows.
+    pub fn is_subset(&self, other: Edges<'_>) -> bool {
+        if self.sys.num_states != other.sys.num_states {
+            return false;
+        }
+        (0..self.sys.num_states).all(|state| {
+            let (a, b) = (
+                self.sys.successors_slice(state),
+                other.sys.successors_slice(state),
+            );
+            let mut j = 0;
+            a.iter().all(|&to| {
+                while j < b.len() && b[j] < to {
+                    j += 1;
+                }
+                j < b.len() && b[j] == to
+            })
+        })
+    }
+}
+
+impl fmt::Debug for Edges<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for Edges<'a> {
+    type Item = (usize, usize);
+    type IntoIter = EdgeIter<'a>;
+    fn into_iter(self) -> EdgeIter<'a> {
+        self.iter()
+    }
+}
+
+/// Lexicographic iterator over a system's edges.
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    sys: &'a FiniteSystem,
+    state: usize,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.state < self.sys.num_states {
+            let row = self.sys.successors_slice(self.state);
+            if self.pos < row.len() {
+                let edge = (self.state, row[self.pos]);
+                self.pos += 1;
+                return Some(edge);
+            }
+            self.state += 1;
+            self.pos = 0;
+        }
+        None
     }
 }
 
@@ -185,14 +526,14 @@ impl fmt::Display for FiniteSystem {
 #[derive(Debug, Clone)]
 pub struct SystemBuilder {
     num_states: usize,
-    init: BTreeSet<usize>,
-    edges: BTreeSet<(usize, usize)>,
+    init: Vec<usize>,
+    edges: Vec<(usize, usize)>,
 }
 
 impl SystemBuilder {
     /// Marks `state` as initial.
     pub fn initial(mut self, state: usize) -> Self {
-        self.init.insert(state);
+        self.init.push(state);
         self
     }
 
@@ -204,7 +545,7 @@ impl SystemBuilder {
 
     /// Adds the transition `(from, to)`.
     pub fn edge(mut self, from: usize, to: usize) -> Self {
-        self.edges.insert((from, to));
+        self.edges.push((from, to));
         self
     }
 
@@ -217,10 +558,15 @@ impl SystemBuilder {
     /// Adds a self-loop on every state that currently has no successor,
     /// modelling quiescence while preserving totality.
     pub fn stutter_quiescent(mut self) -> Self {
-        let with_out: BTreeSet<usize> = self.edges.iter().map(|&(from, _)| from).collect();
-        for state in 0..self.num_states {
-            if !with_out.contains(&state) {
-                self.edges.insert((state, state));
+        let mut with_out = vec![false; self.num_states];
+        for &(from, _) in &self.edges {
+            if from < self.num_states {
+                with_out[from] = true;
+            }
+        }
+        for (state, &has_out) in with_out.iter().enumerate() {
+            if !has_out {
+                self.edges.push((state, state));
             }
         }
         self
@@ -234,7 +580,7 @@ impl SystemBuilder {
     /// [`SystemError::StateOutOfRange`] if an edge or initial state is out
     /// of range, and [`SystemError::NotTotal`] if some state has no
     /// outgoing transition.
-    pub fn build(self) -> Result<FiniteSystem, SystemError> {
+    pub fn build(mut self) -> Result<FiniteSystem, SystemError> {
         if self.num_states == 0 {
             return Err(SystemError::EmptyStateSpace);
         }
@@ -248,8 +594,10 @@ impl SystemBuilder {
                 Ok(())
             }
         };
+        let mut init = StateSet::with_capacity(self.num_states);
         for &state in &self.init {
             check(state)?;
+            init.insert(state);
         }
         let mut has_out = vec![false; self.num_states];
         for &(from, to) in &self.edges {
@@ -260,17 +608,20 @@ impl SystemBuilder {
         if let Some(state) = has_out.iter().position(|&ok| !ok) {
             return Err(SystemError::NotTotal { state });
         }
-        Ok(FiniteSystem {
-            num_states: self.num_states,
-            init: self.init,
-            edges: self.edges,
-        })
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Ok(FiniteSystem::from_sorted_parts(
+            self.num_states,
+            init,
+            &self.edges,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StateSet;
 
     fn ring3() -> FiniteSystem {
         FiniteSystem::builder(3)
@@ -320,6 +671,17 @@ mod tests {
     }
 
     #[test]
+    fn builder_deduplicates_edges() {
+        let sys = FiniteSystem::builder(2)
+            .initial(0)
+            .edges([(0, 1), (0, 1), (1, 0), (0, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(sys.edge_count(), 2);
+        assert_eq!(sys.successors_slice(0), &[1]);
+    }
+
+    #[test]
     fn stutter_quiescent_restores_totality() {
         let sys = FiniteSystem::builder(3)
             .initial(0)
@@ -346,14 +708,84 @@ mod tests {
     }
 
     #[test]
+    fn predecessors_mirror_successors() {
+        let sys = FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(sys.predecessors_slice(2), &[0, 1]);
+        assert_eq!(sys.predecessors(0).collect::<Vec<_>>(), vec![2]);
+        for from in 0..3 {
+            for to in 0..3 {
+                assert_eq!(
+                    sys.has_edge(from, to),
+                    sys.predecessors_slice(to).contains(&from),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterate_in_lexicographic_order() {
+        let sys = FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(2, 0), (0, 2), (0, 1), (1, 1)])
+            .build()
+            .unwrap();
+        let all: Vec<_> = sys.edges().iter().collect();
+        assert_eq!(all, vec![(0, 1), (0, 2), (1, 1), (2, 0)]);
+        assert_eq!(sys.edges().len(), 4);
+    }
+
+    #[test]
+    fn edge_subset_matches_pairwise_containment() {
+        let big = FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(0, 1), (0, 2), (1, 1), (2, 0)])
+            .build()
+            .unwrap();
+        let small = FiniteSystem::builder(3)
+            .initial(0)
+            .edges([(0, 2), (1, 1), (2, 0)])
+            .build()
+            .unwrap();
+        assert!(small.edges().is_subset(big.edges()));
+        assert!(!big.edges().is_subset(small.edges()));
+        assert!(big.edges().is_subset(big.edges()));
+    }
+
+    #[test]
     fn reachability_follows_edges() {
         let sys = FiniteSystem::builder(4)
             .initial(0)
             .edges([(0, 1), (1, 0), (2, 3), (3, 2)])
             .build()
             .unwrap();
-        assert_eq!(sys.reachable_from_init(), BTreeSet::from([0, 1]));
-        assert_eq!(sys.reachable_from([2]), BTreeSet::from([2, 3]));
+        assert_eq!(
+            *sys.reachable_from_init(),
+            [0, 1].into_iter().collect::<StateSet>()
+        );
+        assert_eq!(
+            sys.reachable_from([2]),
+            [2, 3].into_iter().collect::<StateSet>()
+        );
+    }
+
+    #[test]
+    fn scc_ids_partition_and_order() {
+        let sys = FiniteSystem::builder(5)
+            .initial(0)
+            .edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (4, 4)])
+            .build()
+            .unwrap();
+        let ids = sys.scc_ids();
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_ne!(ids[0], ids[2]);
+        assert_eq!(sys.scc_count(), 3);
+        // Reverse topological: {2,3} (a sink) completes before {0,1}.
+        assert!(ids[2] < ids[0]);
     }
 
     #[test]
@@ -368,6 +800,18 @@ mod tests {
         assert!(!line.has_path(0, 0));
         assert!(line.has_path(0, 1));
         assert!(line.has_path(1, 1)); // self-loop
+    }
+
+    #[test]
+    fn has_path_crosses_scc_boundaries() {
+        let sys = FiniteSystem::builder(4)
+            .initial(0)
+            .edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 3)])
+            .build()
+            .unwrap();
+        assert!(sys.has_path(0, 3));
+        assert!(!sys.has_path(3, 0));
+        assert!(!sys.has_path(2, 2)); // singleton SCC, no self-loop
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl LocalFamily {
         let mut builder = FiniteSystem::builder(total);
         for global in 0..total {
             let parts = self.decode(global);
-            if self.locals[i].init().contains(&parts[i]) {
+            if self.locals[i].init().contains(parts[i]) {
                 builder = builder.initial(global);
             }
             for next_local in self.locals[i].successors(parts[i]) {
@@ -274,7 +274,7 @@ mod tests {
     fn lift_changes_only_one_component() {
         let family = LocalFamily::new(vec![local_spec(), local_spec()]);
         let lifted = family.lift(0).unwrap();
-        for &(from, to) in lifted.edges() {
+        for (from, to) in lifted.edges() {
             let (pf, pt) = (family.decode(from), family.decode(to));
             assert_eq!(pf[1], pt[1], "component 1 must not change in lift(0)");
         }
@@ -285,7 +285,7 @@ mod tests {
         let family = LocalFamily::new(vec![local_spec(), local_spec()]);
         let composed = family.compose().unwrap();
         assert_eq!(composed.init().len(), 1);
-        let init = *composed.init().iter().next().unwrap();
+        let init = composed.init().iter().next().unwrap();
         assert_eq!(family.decode(init), vec![0, 0]);
     }
 

@@ -243,7 +243,7 @@ impl AbstractTme {
             .system()
             .reachable_from_init()
             .iter()
-            .all(|&s| not_both_eating(s))
+            .all(not_both_eating)
     }
 
     /// Is the *unwrapped* protocol stabilizing to its own legitimate
@@ -312,10 +312,10 @@ mod tests {
         // compiler's quiescence stutter.
         let succ: Vec<usize> = tme.protocol().successors(deadlock).collect();
         assert_eq!(succ, vec![deadlock]);
-        assert!(!tme.protocol().reachable_from_init().contains(&deadlock));
+        assert!(!tme.protocol().reachable_from_init().contains(deadlock));
         // And it stays illegitimate even for the Lspec stand-in (the
         // wrapped system cannot reach it from Init either).
-        assert!(!tme.wrapped().reachable_from_init().contains(&deadlock));
+        assert!(!tme.wrapped().reachable_from_init().contains(deadlock));
     }
 
     #[test]
@@ -362,7 +362,6 @@ mod debug_tests {
             .system()
             .reachable_from_init()
             .iter()
-            .copied()
             .find(|&s| {
                 let values = tme.protocol.decode(s);
                 values[v.m[0].index()] == EATING && values[v.m[1].index()] == EATING
@@ -372,8 +371,8 @@ mod debug_tests {
         };
         // BFS with predecessors.
         let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut queue: VecDeque<usize> = sys.init().iter().copied().collect();
-        let mut seen: std::collections::BTreeSet<usize> = sys.init().iter().copied().collect();
+        let mut queue: VecDeque<usize> = sys.init().iter().collect();
+        let mut seen: std::collections::BTreeSet<usize> = sys.init().iter().collect();
         while let Some(state) = queue.pop_front() {
             for next in sys.successors(state) {
                 if seen.insert(next) {
@@ -385,7 +384,7 @@ mod debug_tests {
         let mut path = vec![target];
         while let Some(&p) = pred.get(path.last().unwrap()) {
             path.push(p);
-            if sys.init().contains(&p) {
+            if sys.init().contains(p) {
                 break;
             }
         }
@@ -411,8 +410,8 @@ mod debug_tests {
                 tme.protocol.decode(from),
                 tme.protocol.decode(to)
             );
-            eprintln!("from legit: {}", report.legitimate_states.contains(&from));
-            eprintln!("to legit: {}", report.legitimate_states.contains(&to));
+            eprintln!("from legit: {}", report.legitimate_states.contains(from));
+            eprintln!("to legit: {}", report.legitimate_states.contains(to));
         }
         panic!("done");
     }

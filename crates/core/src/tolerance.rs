@@ -31,12 +31,12 @@
 
 use std::collections::BTreeSet;
 
-use rand::Rng;
+use graybox_rng::Rng;
 
 use crate::fairness::FairComposition;
 use crate::relations::StabilizationReport;
 use crate::theorems::TheoremOutcome;
-use crate::{everywhere_implements, FiniteSystem, SystemError};
+use crate::{everywhere_implements, FiniteSystem, StateSet, SystemError};
 
 /// A class of environment fault transitions over a shared state space.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -80,17 +80,22 @@ impl FaultClass {
 
 /// States reachable from `sys`'s initial states when both protocol and
 /// fault transitions may fire — the *fault span*.
-pub fn fault_span(sys: &FiniteSystem, faults: &FaultClass) -> BTreeSet<usize> {
-    let mut seen: BTreeSet<usize> = sys.init().iter().copied().collect();
-    let mut frontier: Vec<usize> = seen.iter().copied().collect();
+pub fn fault_span(sys: &FiniteSystem, faults: &FaultClass) -> StateSet {
+    let mut seen = StateSet::with_capacity(sys.num_states());
+    let mut frontier: Vec<usize> = Vec::new();
+    for state in sys.init() {
+        if seen.insert(state) {
+            frontier.push(state);
+        }
+    }
     while let Some(state) = frontier.pop() {
-        let proto = sys.successors(state).collect::<Vec<_>>();
+        let proto = sys.successors_slice(state).iter().copied();
         let faulty = faults
             .edges
             .iter()
             .filter(|&&(from, _)| from == state)
             .map(|&(_, to)| to);
-        for next in proto.into_iter().chain(faulty) {
+        for next in proto.chain(faulty) {
             if seen.insert(next) {
                 frontier.push(next);
             }
@@ -110,8 +115,8 @@ pub fn is_fail_safe(c: &FiniteSystem, faults: &FaultClass, a: &FiniteSystem) -> 
     let span = fault_span(c, faults);
     c.edges()
         .iter()
-        .filter(|&&(from, _)| span.contains(&from))
-        .all(|&(from, to)| a.has_edge(from, to))
+        .filter(|(from, _)| span.contains(from))
+        .all(|(from, to)| a.has_edge(from, to))
 }
 
 /// Masking fault-tolerance of `c` to `a` under `faults`: fail-safe, and
@@ -168,7 +173,7 @@ fn recovery_report(
     match report.divergent_edge {
         Some((from, _)) => {
             let span = fault_span(components.first()?, faults);
-            if span.contains(&from) {
+            if span.contains(from) {
                 Some(report)
             } else {
                 // Re-run on the span-restricted system.
@@ -192,11 +197,11 @@ fn restricted_report(
         .components()
         .iter()
         .map(|component| {
-            let mut builder = FiniteSystem::builder(component.num_states())
-                .initials(component.init().iter().copied());
+            let mut builder =
+                FiniteSystem::builder(component.num_states()).initials(component.init().iter());
             for state in 0..component.num_states() {
                 let mut any = false;
-                if span.contains(&state) {
+                if span.contains(state) {
                     for next in component.successors(state) {
                         builder = builder.edge(state, next);
                         any = true;
@@ -213,7 +218,7 @@ fn restricted_report(
         Ok(fair) => fair.is_stabilizing_to(a),
         Err(_) => StabilizationReport {
             divergent_edge: Some((0, 0)),
-            legitimate_states: a.reachable_from_init(),
+            legitimate_states: a.reachable_from_init().clone(),
         },
     }
 }
@@ -260,8 +265,8 @@ pub fn check_graybox_masking(
 mod tests {
     use super::*;
     use crate::randsys::{random_subsystem, random_system};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     fn sys(n: usize, init: &[usize], edges: &[(usize, usize)]) -> FiniteSystem {
         FiniteSystem::builder(n)

@@ -17,14 +17,12 @@
 //!   assumption — scheduling is demonic — so systems that rely on fairness
 //!   must encode it in their transition structure.
 
-use std::collections::BTreeSet;
-
-use crate::FiniteSystem;
+use crate::{FiniteSystem, StateSet};
 
 /// A state predicate over a finite system: the set of states satisfying it.
 pub type Predicate<'a> = &'a dyn Fn(usize) -> bool;
 
-fn states_where(sys: &FiniteSystem, p: Predicate<'_>) -> BTreeSet<usize> {
+fn states_where(sys: &FiniteSystem, p: Predicate<'_>) -> StateSet {
     (0..sys.num_states()).filter(|&s| p(s)).collect()
 }
 
@@ -45,7 +43,7 @@ pub fn unless(sys: &FiniteSystem, p: Predicate<'_>, q: Predicate<'_>) -> bool {
     // `p(from) ∧ ¬q(from) ⇒ p(to) ∨ q(to)`, written in disjunctive form.
     sys.edges()
         .iter()
-        .all(|&(from, to)| !p(from) || q(from) || p(to) || q(to))
+        .all(|(from, to)| !p(from) || q(from) || p(to) || q(to))
 }
 
 /// The UNITY `stable p` ≡ `p unless false`.
@@ -56,7 +54,7 @@ pub fn stable(sys: &FiniteSystem, p: Predicate<'_>) -> bool {
 /// The UNITY `q is invariant`: `q` holds in the initial states and is
 /// stable.
 pub fn invariant(sys: &FiniteSystem, q: Predicate<'_>) -> bool {
-    sys.init().iter().all(|&s| q(s)) && stable(sys, q)
+    sys.init().iter().all(q) && stable(sys, q)
 }
 
 /// The UNITY `p ↦ q` (leads-to) over computations from the initial states:
@@ -68,18 +66,14 @@ pub fn invariant(sys: &FiniteSystem, q: Predicate<'_>) -> bool {
 /// computation avoid `q` forever).
 pub fn leads_to(sys: &FiniteSystem, p: Predicate<'_>, q: Predicate<'_>) -> bool {
     let reachable = sys.reachable_from_init();
-    let starts: Vec<usize> = reachable
-        .iter()
-        .copied()
-        .filter(|&s| p(s) && !q(s))
-        .collect();
+    let starts: Vec<usize> = reachable.iter().filter(|&s| p(s) && !q(s)).collect();
     if starts.is_empty() {
         return true;
     }
     // States from which a computation can avoid q forever: states on a
     // ¬q-cycle, plus states that reach such a cycle through ¬q states.
     let avoiders = can_avoid_forever(sys, q);
-    starts.iter().all(|s| !avoiders.contains(s))
+    starts.iter().all(|&s| !avoiders.contains(s))
 }
 
 /// The paper's `p ⤳ q` ("leads to always"): `p ↦ q` and `stable q`.
@@ -88,24 +82,22 @@ pub fn leads_to_always(sys: &FiniteSystem, p: Predicate<'_>, q: Predicate<'_>) -
 }
 
 /// States from which some computation avoids `q` forever.
-fn can_avoid_forever(sys: &FiniteSystem, q: Predicate<'_>) -> BTreeSet<usize> {
-    let not_q = states_where(sys, &|s| !q(s));
+fn can_avoid_forever(sys: &FiniteSystem, q: Predicate<'_>) -> StateSet {
     // A ¬q-state is an avoider iff it lies on a ¬q-cycle or reaches one via
     // ¬q edges. Compute states on ¬q-cycles by iteratively trimming
     // ¬q-states with no successor inside the live ¬q set, then flood
     // backwards.
-    let mut live: BTreeSet<usize> = not_q.clone();
+    let mut live = states_where(sys, &|s| !q(s));
     loop {
         let dead: Vec<usize> = live
             .iter()
-            .copied()
-            .filter(|&s| !sys.successors(s).any(|t| live.contains(&t)))
+            .filter(|&s| !sys.successors_slice(s).iter().any(|t| live.contains(t)))
             .collect();
         if dead.is_empty() {
             break;
         }
         for s in dead {
-            live.remove(&s);
+            live.remove(s);
         }
     }
     // `live` now holds ¬q states with an infinite ¬q-path; that is exactly

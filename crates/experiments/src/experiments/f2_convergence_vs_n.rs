@@ -1,5 +1,6 @@
 //! F2 — recovery latency vs system size.
 
+use graybox_core::sweep::sweep_seeds;
 use graybox_faults::{scenarios, RunConfig};
 use graybox_simnet::SimTime;
 use graybox_tme::Implementation;
@@ -27,23 +28,26 @@ pub fn run(scale: Scale) -> ExperimentResult {
     ]);
     for &n in sizes {
         for implementation in [Implementation::RicartAgrawala, Implementation::Lamport] {
-            let mut recoveries = Vec::new();
-            let mut resends = Vec::new();
-            let mut recovered = 0usize;
-            for seed in 0..seeds {
+            // Seeds are independent; fan them out across cores.
+            let runs = sweep_seeds(0..seeds, |seed| {
                 let config = RunConfig::new(n, implementation)
                     .wrapper(WrapperConfig::timeout(8))
                     .seed(seed * 13 + n as u64)
                     .horizon(SimTime::from(6_000));
                 let (trace, outcome) = scenarios::deadlock(&config);
                 let fault_at = trace.last_fault_time().expect("marked");
-                if let Some(ticks) = outcome.recovery_ticks(fault_at) {
-                    if outcome.total_entries as usize == n {
-                        recovered += 1;
-                        recoveries.push(ticks);
-                        resends.push(outcome.wrapper_resends);
-                    }
-                }
+                outcome.recovery_ticks(fault_at).and_then(|ticks| {
+                    (outcome.total_entries as usize == n)
+                        .then_some((ticks, outcome.wrapper_resends))
+                })
+            });
+            let mut recoveries = Vec::new();
+            let mut resends = Vec::new();
+            let mut recovered = 0usize;
+            for (ticks, sent) in runs.into_iter().flatten() {
+                recovered += 1;
+                recoveries.push(ticks);
+                resends.push(sent);
             }
             table.row(vec![
                 n.to_string(),

@@ -1,5 +1,6 @@
 //! F3 — the wrapper timeout θ: recovery latency vs redundant messages.
 
+use graybox_core::sweep::sweep_seeds;
 use graybox_faults::{scenarios, RunConfig};
 use graybox_simnet::SimTime;
 use graybox_tme::Implementation;
@@ -25,21 +26,28 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "recovered",
     ]);
     for &theta in thetas {
-        let mut recoveries = Vec::new();
-        let mut resends = Vec::new();
-        let mut recovered = 0usize;
-        for seed in 0..seeds {
+        // Seeds are independent; fan them out across cores.
+        let runs = sweep_seeds(0..seeds, |seed| {
             let config = RunConfig::new(n, Implementation::RicartAgrawala)
                 .wrapper(WrapperConfig::timeout(theta))
                 .seed(seed * 17 + 3)
                 .horizon(SimTime::from(8_000));
             let (trace, outcome) = scenarios::deadlock(&config);
             let fault_at = trace.last_fault_time().expect("marked");
-            if outcome.total_entries as usize == n {
-                recovered += 1;
-                recoveries.push(outcome.recovery_ticks(fault_at).unwrap_or(0));
-                resends.push(outcome.wrapper_resends);
-            }
+            (outcome.total_entries as usize == n).then(|| {
+                (
+                    outcome.recovery_ticks(fault_at).unwrap_or(0),
+                    outcome.wrapper_resends,
+                )
+            })
+        });
+        let mut recoveries = Vec::new();
+        let mut resends = Vec::new();
+        let mut recovered = 0usize;
+        for (ticks, sent) in runs.into_iter().flatten() {
+            recovered += 1;
+            recoveries.push(ticks);
+            resends.push(sent);
         }
         table.row(vec![
             theta.to_string(),

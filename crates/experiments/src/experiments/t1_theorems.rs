@@ -5,8 +5,8 @@ use graybox_core::randsys::{random_subsystem, random_system, random_wrapper_pair
 use graybox_core::theorems::{
     check_lemma0, check_lemma2, check_theorem1, check_theorem4, LocalFamily,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::SeedableRng;
 
 use crate::table::{pct, Table};
 

@@ -1,5 +1,6 @@
 //! T4 — Theorem 8 across the full §3.1 fault matrix.
 
+use graybox_core::sweep::sweep_seeds;
 use graybox_faults::{run_tme, FaultKind, FaultPlan, RunConfig};
 use graybox_simnet::SimTime;
 use graybox_tme::{Implementation, WorkloadConfig};
@@ -28,10 +29,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
     for kind in FaultKind::ALL {
         for &implementation in implementations {
             for wrapper in [WrapperConfig::off(), WrapperConfig::timeout(8)] {
-                let mut stabilized = 0usize;
-                let mut me1 = Vec::new();
-                let mut entries = Vec::new();
-                for seed in 0..seeds {
+                // Seeds are independent; fan them out across cores.
+                let runs = sweep_seeds(0..seeds, |seed| {
                     let config = RunConfig::new(3, implementation)
                         .wrapper(wrapper)
                         .seed(seed * 97 + 5)
@@ -44,9 +43,19 @@ pub fn run(scale: Scale) -> ExperimentResult {
                         })
                         .faults(FaultPlan::burst(kind, SimTime::from(80), 4));
                     let outcome = run_tme(&config);
-                    stabilized += usize::from(outcome.verdict.stabilized);
-                    me1.push(outcome.verdict.me1_violations as u64);
-                    entries.push(outcome.total_entries);
+                    (
+                        outcome.verdict.stabilized,
+                        outcome.verdict.me1_violations as u64,
+                        outcome.total_entries,
+                    )
+                });
+                let mut stabilized = 0usize;
+                let mut me1 = Vec::new();
+                let mut entries = Vec::new();
+                for (ok, violations, entered) in runs {
+                    stabilized += usize::from(ok);
+                    me1.push(violations);
+                    entries.push(entered);
                 }
                 table.row(vec![
                     kind.label().to_string(),

@@ -7,8 +7,8 @@ use graybox_core::synthesis::{
     stutter_closure, synthesize_guided_wrapper, synthesize_reset_wrapper, verify_wrapper,
 };
 use graybox_core::tolerance::{check_graybox_fail_safe, check_graybox_masking, FaultClass};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::SeedableRng;
 
 use crate::table::{pct, Table};
 

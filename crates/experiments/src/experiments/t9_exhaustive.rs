@@ -1,5 +1,6 @@
 //! T9 — exhaustive model checking of the abstract TME case study.
 
+use graybox_core::sweep::sweep_seeds;
 use graybox_core::tme_abstract;
 
 use crate::table::{mark, Table};
@@ -8,30 +9,38 @@ use super::{ExperimentResult, Scale};
 
 pub fn run(_scale: Scale) -> ExperimentResult {
     let tme = tme_abstract::build().expect("abstraction compiles");
+    // The four verdicts are independent model checks over the same shared
+    // (immutable) abstraction; evaluate them in parallel.
+    let deadlock = tme.deadlock_state();
+    let verdicts = sweep_seeds(0..4u64, |check| match check {
+        0 => tme.me1_invariant(),
+        1 => tme.unwrapped_stabilizes(),
+        2 => tme.wrapped_stabilizes(),
+        _ => {
+            tme.protocol().successors(deadlock).collect::<Vec<_>>() == vec![deadlock]
+                && !tme.wrapped().reachable_from_init().contains(deadlock)
+        }
+    });
     let mut table = Table::new(&["property", "checked over", "holds"]);
     table.row(vec![
         "ME1 (never both eating) on legitimate behaviour".into(),
         format!("{} legitimate states", tme.num_legitimate()),
-        mark(tme.me1_invariant()),
+        mark(verdicts[0]),
     ]);
     table.row(vec![
         "unwrapped protocol stabilizing (expected: NO)".into(),
         format!("all {} states", tme.num_states()),
-        mark(tme.unwrapped_stabilizes()),
+        mark(verdicts[1]),
     ]);
     table.row(vec![
         "wrapped protocol stabilizing (Theorem 8)".into(),
         format!("all {} states", tme.num_states()),
-        mark(tme.wrapped_stabilizes()),
+        mark(verdicts[2]),
     ]);
-    let deadlock = tme.deadlock_state();
     table.row(vec![
         "§4 deadlock state quiescent & illegitimate".into(),
         format!("state #{deadlock}"),
-        mark(
-            tme.protocol().successors(deadlock).collect::<Vec<_>>() == vec![deadlock]
-                && !tme.wrapped().reachable_from_init().contains(&deadlock),
-        ),
+        mark(verdicts[3]),
     ]);
     ExperimentResult {
         id: "T9",

@@ -1,6 +1,6 @@
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 use graybox_simnet::SimTime;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// One fault class from the paper's §3.1 model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

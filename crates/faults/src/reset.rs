@@ -33,12 +33,12 @@ use graybox_tme::LspecView;
 mod tests {
     use super::*;
     use graybox_clock::ProcessId;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
     use graybox_simnet::Corruptible;
     use graybox_tme::Implementation;
     use graybox_tme::Mode;
     use graybox_wrapper::WrapperConfig;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn reset_restores_init_state() {

@@ -1,12 +1,12 @@
 use graybox_clock::{ProcessId, Timestamp};
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 use graybox_simnet::{Corruptible, SimConfig, SimTime, Simulation};
 use graybox_spec::convergence::{self, ConvergenceReport};
 use graybox_spec::lspec::DEFAULT_GRACE;
 use graybox_spec::{Trace, TraceRecorder};
 use graybox_tme::{Implementation, TmeMsg, TmeProcess, Workload, WorkloadConfig};
 use graybox_wrapper::{GrayboxWrapper, WrapperConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::{FaultKind, FaultPlan, Resettable};
 

@@ -9,12 +9,12 @@
 //! exactly the peers the local copies claim are earlier.
 
 use graybox_clock::{ProcessId, Timestamp};
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 use graybox_simnet::{Corruptible, SimTime};
 use graybox_spec::convergence;
 use graybox_spec::{Trace, TraceRecorder};
 use graybox_tme::{TmeClient, TmeMsg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::runner::{build_sim, RunConfig, RunOutcome, Verdict};
 

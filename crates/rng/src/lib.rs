@@ -1,0 +1,387 @@
+//! Self-contained deterministic pseudo-random number generation.
+//!
+//! The workspace must build and test with **no registry access** (tier-1
+//! verify runs in a network-isolated container), so it cannot depend on the
+//! `rand` crate. This crate supplies the small slice of `rand`'s 0.8 API
+//! the repo actually uses, with the same module paths, so call sites port
+//! with a one-line import change:
+//!
+//! ```text
+//! use rand::rngs::SmallRng;        ->  use graybox_rng::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};    ->  use graybox_rng::{Rng, SeedableRng};
+//! use rand::seq::SliceRandom;      ->  use graybox_rng::seq::SliceRandom;
+//! ```
+//!
+//! The generator behind [`rngs::SmallRng`] is xoshiro256++ seeded through
+//! SplitMix64 (Blackman & Vigna), the same construction `rand`'s `SmallRng`
+//! uses on 64-bit targets. Streams are **not** bit-identical to `rand`'s —
+//! nothing in the repo depends on exact streams, only on determinism per
+//! seed, which this crate guarantees: the same seed always yields the same
+//! sequence, on every platform, forever (the implementation is frozen here
+//! rather than behind a semver boundary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniformly random bits.
+///
+/// Object-safe (the wrapper crate drives corruption injectors through
+/// `&mut dyn RngCore`). Only [`next_u64`](RngCore::next_u64) is required.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (the high half of
+    /// [`next_u64`](RngCore::next_u64), which are the strongest bits of
+    /// xoshiro-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Deterministic construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+///
+/// Implemented for `Range` and `RangeInclusive` over the unsigned integer
+/// types and `usize` (all the repo uses). Sampling uses Lemire's
+/// widening-multiply reduction; the modulo bias is at most 2⁻⁶⁴ · |range|,
+/// which is unmeasurable at the range sizes involved here.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    ///
+    /// Panics when the range is empty, matching `rand`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a raw 64-bit draw into `[0, span)` without division.
+#[inline]
+fn widening_reduce(raw: u64, span: u64) -> u64 {
+    ((raw as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + widening_reduce(rng.next_u64(), span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // start..=end covers the whole 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                start + widening_reduce(rng.next_u64(), span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// User-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        // Compare 53 uniform bits against p scaled to the same grid; exact
+        // for p = 0.0 and p = 1.0.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 (Steele, Lea & Flood): a 64-bit state mixer used to
+    /// expand one seed word into the xoshiro256++ state. Also a fine
+    /// stand-alone generator for non-statistical uses.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Creates the mixer with the given state.
+        pub fn new(state: u64) -> Self {
+            SplitMix64 { state }
+        }
+    }
+
+    impl RngCore for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SplitMix64 {
+        fn seed_from_u64(state: u64) -> Self {
+            SplitMix64::new(state)
+        }
+    }
+
+    /// xoshiro256++ 1.0 (Blackman & Vigna): the workspace's default small,
+    /// fast, non-cryptographic generator. 256 bits of state, period
+    /// 2²⁵⁶ − 1.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion guarantees a non-zero xoshiro state for
+            // every seed (an all-zero state would be a fixed point).
+            let mut mixer = SplitMix64::new(state);
+            let s = [
+                mixer.next_u64(),
+                mixer.next_u64(),
+                mixer.next_u64(),
+                mixer.next_u64(),
+            ];
+            debug_assert!(s.iter().any(|&w| w != 0));
+            SmallRng { s }
+        }
+    }
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::{RngCore, SampleRange};
+
+    /// `rand`-compatible slice helpers.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, (0..=i).sample_from(rng));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((0..self.len()).sample_from(rng))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, SplitMix64};
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference output of SplitMix64 with seed 1234567
+        // (from the published C implementation).
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn small_rng_is_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..5);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..5 drawn: {seen:?}");
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&x));
+        }
+        let mut hit_max = false;
+        for _ in 0..1000 {
+            if rng.gen_range(0..=3u8) == 3 {
+                hit_max = true;
+            }
+        }
+        assert!(hit_max, "inclusive upper endpoint is reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _: usize = rng.gen_range(3..3);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for (value, &count) in counts.iter().enumerate() {
+            assert!(
+                (9_000..11_000).contains(&count),
+                "value {value} drawn {count} times"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_covers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut data: Vec<usize> = (0..20).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(data, sorted, "a 20-element shuffle is not identity");
+
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &x = items.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_dyn_and_reborrow() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let _ = dynamic.next_u32();
+        fn takes_generic<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng2 = SmallRng::seed_from_u64(5);
+        let by_ref = &mut rng2;
+        let _ = takes_generic(by_ref);
+        let _ = takes_generic(by_ref); // reborrow works
+        let dyn_again: &mut dyn RngCore = &mut rng2;
+        let _ = takes_generic(dyn_again);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_blocks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

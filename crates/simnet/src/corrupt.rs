@@ -1,4 +1,4 @@
-use rand::RngCore;
+use graybox_rng::RngCore;
 
 /// Arbitrary transient state corruption, the paper's strongest fault.
 ///
@@ -34,8 +34,8 @@ impl Corruptible for bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     #[test]
     fn primitive_corruption_is_seed_deterministic() {

@@ -2,8 +2,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use graybox_clock::ProcessId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 
 use crate::{
     Channel, Context, Corruptible, Envelope, MsgId, Process, SendRecord, SimTime, StepKind,

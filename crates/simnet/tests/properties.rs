@@ -1,11 +1,11 @@
 //! Property-based tests for the simulator substrate: FIFO under faults,
-//! determinism, and delivery accounting.
+//! determinism, and delivery accounting. Seeded `graybox-rng` loops keep
+//! the suite runnable with no registry access.
 
 use graybox_clock::ProcessId;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 use graybox_simnet::{Context, Process, SimConfig, SimTime, Simulation};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 #[derive(Debug)]
 struct Sink {
@@ -52,16 +52,17 @@ fn is_subsequence(needle: &[u64], haystack: &[u64]) -> bool {
     needle.iter().all(|n| iter.any(|h| h == n))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fifo_survives_random_drops(seed in 0u64..500, count in 1usize..25, drops in 0usize..10) {
+#[test]
+fn fifo_survives_random_drops() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(case ^ 0xD0);
+        let seed = rng.gen_range(0u64..500);
+        let count = rng.gen_range(1usize..25);
+        let drops = rng.gen_range(0usize..10);
         let mut sim = two_sinks(seed, 12);
         for i in 0..count as u64 {
             sim.inject_message(ProcessId(0), ProcessId(1), i);
         }
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD0);
         for _ in 0..drops {
             let len = sim.channel(ProcessId(0), ProcessId(1)).len();
             if len > 0 {
@@ -72,12 +73,20 @@ proptest! {
         let received = &sim.process(ProcessId(1)).received;
         // Delivered messages are an in-order subsequence of the sends.
         let sent: Vec<u64> = (0..count as u64).collect();
-        prop_assert!(is_subsequence(received, &sent), "{received:?} not a subsequence");
-        prop_assert!(received.len() + drops.min(count) >= count);
+        assert!(
+            is_subsequence(received, &sent),
+            "case {case}: {received:?} not a subsequence"
+        );
+        assert!(received.len() + drops.min(count) >= count, "case {case}");
     }
+}
 
-    #[test]
-    fn duplicates_preserve_order_of_first_copies(seed in 0u64..300, count in 1usize..15) {
+#[test]
+fn duplicates_preserve_order_of_first_copies() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(case ^ 0xD1);
+        let seed = rng.gen_range(0u64..300);
+        let count = rng.gen_range(1usize..15);
         let mut sim = two_sinks(seed, 8);
         for i in 0..count as u64 {
             sim.inject_message(ProcessId(0), ProcessId(1), i);
@@ -87,7 +96,7 @@ proptest! {
         sim.duplicate_message(ProcessId(0), ProcessId(1), 0);
         sim.run_until(SimTime::from(10_000));
         let received = &sim.process(ProcessId(1)).received;
-        prop_assert_eq!(received.len(), count + 2);
+        assert_eq!(received.len(), count + 2, "case {case}");
         // First occurrences still appear in order.
         let mut firsts = Vec::new();
         for &m in received {
@@ -96,11 +105,13 @@ proptest! {
             }
         }
         let sent: Vec<u64> = (0..count as u64).collect();
-        prop_assert_eq!(firsts, sent);
+        assert_eq!(firsts, sent, "case {case}");
     }
+}
 
-    #[test]
-    fn same_seed_is_bit_identical(seed in 0u64..300) {
+#[test]
+fn same_seed_is_bit_identical() {
+    for seed in 0..64u64 {
         let run = |seed| {
             let mut sim = two_sinks(seed, 10);
             for i in 0..10u64 {
@@ -116,12 +127,18 @@ proptest! {
         };
         let (ra, sa) = run(seed);
         let (rb, sb) = run(seed);
-        prop_assert_eq!(ra, rb);
-        prop_assert_eq!(sa, sb);
+        assert_eq!(ra, rb, "seed {seed}");
+        assert_eq!(sa, sb, "seed {seed}");
     }
+}
 
-    #[test]
-    fn stats_add_up(seed in 0u64..300, count in 1usize..20, flush_at in 0usize..20) {
+#[test]
+fn stats_add_up() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(case ^ 0xD2);
+        let seed = rng.gen_range(0u64..300);
+        let count = rng.gen_range(1usize..20);
+        let flush_at = rng.gen_range(0usize..20);
         let mut sim = two_sinks(seed, 6);
         for i in 0..count as u64 {
             sim.inject_message(ProcessId(0), ProcessId(1), i);
@@ -137,8 +154,8 @@ proptest! {
         };
         sim.run_until(SimTime::from(10_000));
         let stats = sim.stats();
-        prop_assert_eq!(stats.sent as usize, count);
-        prop_assert_eq!(stats.delivered as usize + flushed, count);
-        prop_assert_eq!(stats.skipped as usize, flushed);
+        assert_eq!(stats.sent as usize, count, "case {case}");
+        assert_eq!(stats.delivered as usize + flushed, count, "case {case}");
+        assert_eq!(stats.skipped as usize, flushed, "case {case}");
     }
 }

@@ -485,9 +485,9 @@ mod tests {
 
     #[test]
     fn corruption_is_visible_to_invariant_i() {
+        use graybox_rng::rngs::SmallRng;
+        use graybox_rng::SeedableRng;
         use graybox_simnet::Corruptible;
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
         let n = 3;
         let procs = (0..n as u32)
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))

@@ -1,6 +1,6 @@
 use graybox_clock::{LamportClock, ProcessId, Timestamp};
+use graybox_rng::RngCore;
 use graybox_simnet::{Context, Corruptible, Process, TimerTag};
-use rand::RngCore;
 
 use crate::ra::HEARTBEAT;
 use crate::{LspecView, Mode, ProcSnapshot, TmeClient, TmeIntrospect, TmeMsg, RELEASE_TIMER};
@@ -197,6 +197,11 @@ impl Process for RaMeAlt {
                 self.release(ctx);
             }
         }
+        // UNITY weak fairness: re-evaluate the enter-CS guard on every
+        // heartbeat, so a corruption that fabricates an all-later info map
+        // (which no future message would disturb) cannot wedge the process
+        // in Waiting forever. No-op in legitimate runs.
+        self.try_enter();
         self.refresh_req_if_thinking();
     }
 
@@ -389,8 +394,8 @@ mod tests {
 
     #[test]
     fn corruption_preserves_identity_and_bounds() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use graybox_rng::rngs::SmallRng;
+        use graybox_rng::SeedableRng;
         let mut p = RaMeAlt::new(ProcessId(1), 3);
         p.corrupt(&mut SmallRng::seed_from_u64(4));
         assert_eq!(p.id, ProcessId(1));

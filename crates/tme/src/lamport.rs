@@ -1,6 +1,6 @@
 use graybox_clock::{LamportClock, ProcessId, Timestamp};
+use graybox_rng::RngCore;
 use graybox_simnet::{Context, Corruptible, Process, TimerTag};
-use rand::RngCore;
 
 use crate::ra::HEARTBEAT;
 use crate::{LspecView, Mode, ProcSnapshot, TmeClient, TmeIntrospect, TmeMsg, RELEASE_TIMER};
@@ -262,6 +262,11 @@ impl Process for LamportMe {
                 self.release(ctx);
             }
         }
+        // UNITY weak fairness: re-evaluate the enter-CS guard on every
+        // heartbeat, so a corruption that fabricates a fully granted state
+        // (which no future message would disturb) cannot wedge the process
+        // hungry forever. No-op in legitimate runs.
+        self.try_enter();
         self.refresh_req_if_thinking();
     }
 
@@ -515,8 +520,8 @@ mod tests {
 
     #[test]
     fn corruption_scrambles_queue_but_keeps_identity() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use graybox_rng::rngs::SmallRng;
+        use graybox_rng::SeedableRng;
         let mut p = LamportMe::new(ProcessId(1), 4);
         p.corrupt(&mut SmallRng::seed_from_u64(3));
         assert_eq!(p.id, ProcessId(1));

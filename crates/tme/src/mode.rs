@@ -1,7 +1,7 @@
 use std::fmt;
 
+use graybox_rng::RngCore;
 use graybox_simnet::Corruptible;
-use rand::RngCore;
 
 /// The client-visible mode of a process (the paper's `t.j`, `h.j`, `e.j`).
 ///
@@ -75,8 +75,8 @@ impl Corruptible for Mode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     #[test]
     fn predicates_are_exclusive() {

@@ -1,8 +1,8 @@
 use std::fmt;
 
 use graybox_clock::{ProcessId, Timestamp};
+use graybox_rng::RngCore;
 use graybox_simnet::Corruptible;
-use rand::RngCore;
 
 /// The TME protocol message vocabulary.
 ///
@@ -69,8 +69,8 @@ impl Corruptible for TmeMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
 
     fn ts(time: u64, pid: u32) -> Timestamp {
         Timestamp::new(time, ProcessId(pid))

@@ -1,8 +1,8 @@
 use std::fmt;
 
 use graybox_clock::{ProcessId, Timestamp};
+use graybox_rng::RngCore;
 use graybox_simnet::{Context, Corruptible, Process, TimerTag};
-use rand::RngCore;
 
 use crate::{
     LamportMe, LspecView, Mode, ProcSnapshot, RaMe, RaMeAlt, TmeClient, TmeIntrospect, TmeMsg,

@@ -1,6 +1,6 @@
 use graybox_clock::{LamportClock, ProcessId, Timestamp};
+use graybox_rng::RngCore;
 use graybox_simnet::{Context, Corruptible, Process, TimerTag};
-use rand::RngCore;
 
 use crate::{LspecView, Mode, ProcSnapshot, TmeClient, TmeIntrospect, TmeMsg, RELEASE_TIMER};
 
@@ -196,6 +196,13 @@ impl Process for RaMe {
                 self.release(ctx);
             }
         }
+        // UNITY weak fairness: the enter-CS guarded command must fire
+        // eventually whenever enabled, not only on message receipt. A
+        // corruption can fabricate "all replies received and I precede
+        // everyone" — a state no message will ever disturb — so the guard
+        // is re-evaluated on every heartbeat. A no-op in legitimate runs
+        // (the guard only becomes true at a receipt, which already enters).
+        self.try_enter();
         self.refresh_req_if_thinking();
     }
 
@@ -428,8 +435,8 @@ mod tests {
 
     #[test]
     fn corruption_is_type_valid_and_deterministic() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use graybox_rng::rngs::SmallRng;
+        use graybox_rng::SeedableRng;
         let mut a = RaMe::new(ProcessId(0), 3);
         let mut b = RaMe::new(ProcessId(0), 3);
         a.corrupt(&mut SmallRng::seed_from_u64(9));
@@ -441,8 +448,8 @@ mod tests {
 
     #[test]
     fn eating_is_transient_even_after_corruption_into_eating() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use graybox_rng::rngs::SmallRng;
+        use graybox_rng::SeedableRng;
         let mut s = sim(2, 7);
         // Let the start events arm the heartbeats.
         s.run_until(SimTime::from(5));

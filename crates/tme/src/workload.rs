@@ -1,7 +1,7 @@
 use graybox_clock::ProcessId;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 use graybox_simnet::{Process, SimTime, Simulation};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::TmeClient;
 

@@ -1,22 +1,24 @@
 //! Property-based tests across the three `Lspec` implementations: safety
 //! under random workloads, liveness in fault-free runs, and structural
-//! sanity of corruption.
+//! sanity of corruption. Seeded `graybox-rng` loops keep the suite
+//! runnable with no registry access.
 
 use graybox_clock::ProcessId;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
 use graybox_simnet::{Corruptible, SimConfig, SimTime, Simulation};
 use graybox_tme::{
     Implementation, LspecView, Mode, TmeIntrospect, TmeProcess, Workload, WorkloadConfig,
 };
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn implementation_strategy() -> impl Strategy<Value = Implementation> {
-    prop_oneof![
-        Just(Implementation::RicartAgrawala),
-        Just(Implementation::Lamport),
-        Just(Implementation::AltRicartAgrawala),
-    ]
+const IMPLEMENTATIONS: [Implementation; 3] = [
+    Implementation::RicartAgrawala,
+    Implementation::Lamport,
+    Implementation::AltRicartAgrawala,
+];
+
+fn pick_implementation(rng: &mut SmallRng) -> Implementation {
+    IMPLEMENTATIONS[rng.gen_range(0..IMPLEMENTATIONS.len())]
 }
 
 fn build(implementation: Implementation, n: usize, seed: u64) -> Simulation<TmeProcess> {
@@ -26,90 +28,121 @@ fn build(implementation: Implementation, n: usize, seed: u64) -> Simulation<TmeP
     Simulation::new(procs, SimConfig::with_seed(seed))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn me1_holds_stepwise_for_random_workloads(
-        implementation in implementation_strategy(),
-        seed in 0u64..500,
-        n in 2usize..5,
-    ) {
+#[test]
+fn me1_holds_stepwise_for_random_workloads() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(case ^ 0x7E0);
+        let implementation = pick_implementation(&mut rng);
+        let seed = rng.gen_range(0u64..500);
+        let n = rng.gen_range(2usize..5);
         let mut sim = build(implementation, n, seed);
         Workload::generate(
-            WorkloadConfig { n, requests_per_process: 3, mean_think: 20, eat_for: 3, start: 1 },
+            WorkloadConfig {
+                n,
+                requests_per_process: 3,
+                mean_think: 20,
+                eat_for: 3,
+                start: 1,
+            },
             seed,
         )
         .apply(&mut sim);
         while sim.peek_time().is_some_and(|t| t <= SimTime::from(2_000)) {
             sim.step();
             let eating = sim.processes().filter(|p| p.mode().is_eating()).count();
-            prop_assert!(eating <= 1, "{implementation} violated ME1 at {}", sim.now());
+            assert!(
+                eating <= 1,
+                "{implementation} violated ME1 at {} (case {case})",
+                sim.now()
+            );
         }
     }
+}
 
-    #[test]
-    fn every_first_request_is_served(
-        implementation in implementation_strategy(),
-        seed in 0u64..300,
-        n in 2usize..5,
-    ) {
+#[test]
+fn every_first_request_is_served() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(case ^ 0x7E1);
+        let implementation = pick_implementation(&mut rng);
+        let seed = rng.gen_range(0u64..300);
+        let n = rng.gen_range(2usize..5);
         let mut sim = build(implementation, n, seed);
         Workload::generate(
-            WorkloadConfig { n, requests_per_process: 1, mean_think: 30, eat_for: 3, start: 1 },
+            WorkloadConfig {
+                n,
+                requests_per_process: 1,
+                mean_think: 30,
+                eat_for: 3,
+                start: 1,
+            },
             seed,
         )
         .apply(&mut sim);
         sim.run_until(SimTime::from(3_000));
         for p in sim.processes() {
-            prop_assert_eq!(p.entries(), 1, "{} starved under {}", LspecView::lspec_id(p), implementation);
-            prop_assert_eq!(p.mode(), Mode::Thinking);
+            assert_eq!(
+                p.entries(),
+                1,
+                "{} starved under {implementation} (case {case})",
+                LspecView::lspec_id(p)
+            );
+            assert_eq!(p.mode(), Mode::Thinking, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn corruption_is_always_type_valid(
-        implementation in implementation_strategy(),
-        seed in 0u64..500,
-        n in 2usize..6,
-    ) {
+#[test]
+fn corruption_is_always_type_valid() {
+    for case in 0..48u64 {
+        let mut outer = SmallRng::seed_from_u64(case ^ 0x7E2);
+        let implementation = pick_implementation(&mut outer);
+        let seed = outer.gen_range(0u64..500);
+        let n = outer.gen_range(2usize..6);
         let mut p = TmeProcess::new(implementation, ProcessId(0), n);
         let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..8 {
             p.corrupt(&mut rng);
             let snap = p.snapshot();
-            prop_assert_eq!(snap.pid, ProcessId(0));
-            prop_assert_eq!(snap.precedes.len(), n);
-            prop_assert_eq!(snap.local_req.len(), n);
-            prop_assert!(!snap.precedes[0], "own slot must be false");
+            assert_eq!(snap.pid, ProcessId(0), "case {case}");
+            assert_eq!(snap.precedes.len(), n, "case {case}");
+            assert_eq!(snap.local_req.len(), n, "case {case}");
+            assert!(!snap.precedes[0], "own slot must be false (case {case})");
             for copy in snap.local_req.iter().flatten() {
-                prop_assert!(copy.pid.index() < n);
+                assert!(copy.pid.index() < n, "case {case}");
             }
             // The Lspec view stays callable and consistent with itself.
             for k in ProcessId::all(n) {
                 let precedes = p.my_req_precedes(k);
-                prop_assert_eq!(precedes, snap.precedes[k.index()]);
+                assert_eq!(precedes, snap.precedes[k.index()], "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn snapshot_mode_matches_view_mode(
-        implementation in implementation_strategy(),
-        seed in 0u64..200,
-    ) {
+#[test]
+fn snapshot_mode_matches_view_mode() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(case ^ 0x7E3);
+        let implementation = pick_implementation(&mut rng);
+        let seed = rng.gen_range(0u64..200);
         let n = 3;
         let mut sim = build(implementation, n, seed);
         Workload::generate(
-            WorkloadConfig { n, requests_per_process: 2, mean_think: 15, eat_for: 2, start: 1 },
+            WorkloadConfig {
+                n,
+                requests_per_process: 2,
+                mean_think: 15,
+                eat_for: 2,
+                start: 1,
+            },
             seed,
         )
         .apply(&mut sim);
         while sim.peek_time().is_some_and(|t| t <= SimTime::from(600)) {
             sim.step();
             for p in sim.processes() {
-                prop_assert_eq!(p.snapshot().mode, LspecView::mode(p));
-                prop_assert_eq!(p.snapshot().req, p.req());
+                assert_eq!(p.snapshot().mode, LspecView::mode(p), "case {case}");
+                assert_eq!(p.snapshot().req, p.req(), "case {case}");
             }
         }
     }

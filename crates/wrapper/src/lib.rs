@@ -52,9 +52,9 @@
 #![warn(missing_docs)]
 
 use graybox_clock::{ProcessId, Timestamp};
+use graybox_rng::RngCore;
 use graybox_simnet::{Context, Corruptible, Process, TimerTag, TimerTagExt};
 use graybox_tme::{LspecView, Mode, ProcSnapshot, TmeClient, TmeIntrospect, TmeMsg};
-use rand::RngCore;
 
 /// Timer tag used by the wrapper (disjoint from protocol tags).
 pub const WRAPPER_TIMER: TimerTag = TimerTag::WRAPPER_BASE;

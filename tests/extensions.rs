@@ -12,8 +12,8 @@ use graybox::core::theorems::LocalFamily;
 use graybox::core::tme_abstract;
 use graybox::core::tolerance::{is_fail_safe, is_masking_with_wrapper, FaultClass};
 use graybox::core::{bruteforce, is_stabilizing_to, FiniteSystem};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::SeedableRng;
 
 #[test]
 fn synthesized_wrappers_verify_and_transfer() {

@@ -15,7 +15,7 @@ use graybox::tme::{
     Implementation, LspecView, Mode, ProcSnapshot, TmeClient, TmeIntrospect, TmeMsg, TmeProcess,
 };
 use graybox::wrapper::{GrayboxWrapper, WrapperConfig};
-use rand::RngCore;
+use graybox_rng::RngCore;
 
 /// A downstream process type: an instrumented Ricart–Agrawala node that
 /// counts handler invocations and delegates the protocol. The wrapper
@@ -160,8 +160,8 @@ fn downstream_type_conforms_to_lspec_fault_free() {
 
 #[test]
 fn wrapper_survives_corruption_of_the_downstream_type() {
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use graybox_rng::rngs::SmallRng;
+    use graybox_rng::SeedableRng;
     let n = 3;
     let mut sim = build(n, 6, 11);
     for pid in ProcessId::all(n) {
@@ -175,7 +175,7 @@ fn wrapper_survives_corruption_of_the_downstream_type() {
         recorder.mark_fault(&sim, pid, format!("corrupt {pid}"));
     }
     let _ = &mut rng;
-    recorder.run_until(&mut sim, SimTime::from(3_000));
+    recorder.run_until(&mut sim, SimTime::from(10_000));
     let report = convergence::analyze(&recorder.into_trace(), DEFAULT_GRACE);
     assert!(report.stabilized());
 }

@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and theorems.
+//!
+//! Seeded random instances (via the in-repo `graybox-rng`, so the suite
+//! runs with no registry access) drive the invariants the rest of the
+//! workspace relies on: the total order `lt`, the box-operator algebra,
+//! the composition theorems, FIFO channels, and the `Mode` state machine.
+//! Every case is a pure function of its seed, so a failure message's seed
+//! reproduces it exactly.
+
+use graybox::clock::{LamportClock, ProcessId, Timestamp};
+use graybox::core::fairness::check_fair_theorem1;
+use graybox::core::randsys::{random_subsystem, random_system, random_wrapper_pair};
+use graybox::core::sweep::sweep_seeds;
+use graybox::core::theorems::{check_lemma0, check_theorem1};
+use graybox::core::{box_compose, everywhere_implements, implements_from_init};
+use graybox::tme::Mode;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
+
+fn ts(rng: &mut SmallRng) -> Timestamp {
+    Timestamp::new(rng.gen_range(0u64..100), ProcessId(rng.gen_range(0u32..8)))
+}
+
+#[test]
+fn lt_is_a_strict_total_order() {
+    for seed in 0..1_000u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b, c) = (ts(&mut rng), ts(&mut rng), ts(&mut rng));
+        // Irreflexive.
+        assert!(!a.lt(a), "seed {seed}");
+        // Total on distinct values.
+        if a != b {
+            assert!(a.lt(b) ^ b.lt(a), "seed {seed}");
+        }
+        // Transitive.
+        if a.lt(b) && b.lt(c) {
+            assert!(a.lt(c), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn lamport_clocks_respect_happened_before() {
+    for seed in 0..500u64 {
+        // Random interleaving of local events and message edges between
+        // two clocks: along every actual hb edge, timestamps increase.
+        let mut a = LamportClock::new(ProcessId(0));
+        let mut b = LamportClock::new(ProcessId(1));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    let before = a.now();
+                    let after = a.tick();
+                    assert!(before.lt(after), "seed {seed}"); // process order
+                }
+                1 => {
+                    let before = b.now();
+                    let after = b.tick();
+                    assert!(before.lt(after), "seed {seed}");
+                }
+                2 => {
+                    let send = a.tick(); // send event at a …
+                    let recv = b.receive(send); // … received at b
+                    assert!(send.lt(recv), "seed {seed}"); // message edge
+                }
+                _ => {
+                    let send = b.tick();
+                    let recv = a.receive(send);
+                    assert!(send.lt(recv), "seed {seed}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn box_operator_algebra() {
+    for seed in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_system(&mut rng, 8, 3, 0.5);
+        let b = random_system(&mut rng, 8, 3, 0.5);
+        let c = random_system(&mut rng, 8, 3, 0.5);
+        // Commutative, associative, idempotent.
+        assert_eq!(
+            box_compose(&a, &b).unwrap(),
+            box_compose(&b, &a).unwrap(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            box_compose(&box_compose(&a, &b).unwrap(), &c).unwrap(),
+            box_compose(&a, &box_compose(&b, &c).unwrap()).unwrap(),
+            "seed {seed}"
+        );
+        assert_eq!(box_compose(&a, &a).unwrap(), a.clone(), "seed {seed}");
+        // The composition is a superset, so each component refines it.
+        assert!(
+            everywhere_implements(&a, &box_compose(&a, &b).unwrap()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn subsystems_implement_their_specs() {
+    for seed in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = random_system(&mut rng, 10, 4, 0.5);
+        let sub = random_subsystem(&mut rng, &spec);
+        assert!(everywhere_implements(&sub, &spec), "seed {seed}");
+        assert!(implements_from_init(&sub, &spec), "seed {seed}");
+        // Transitivity through a middle layer.
+        let subsub = random_subsystem(&mut rng, &sub);
+        assert!(everywhere_implements(&subsub, &spec), "seed {seed}");
+    }
+}
+
+#[test]
+fn composition_theorems_never_falsified() {
+    // Independent per-seed checks: fan them out over the sweep driver,
+    // which doubles as an integration test of the driver itself.
+    let failures = sweep_seeds(0..300u64, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_system(&mut rng, 9, 3, 0.4);
+        let c = random_subsystem(&mut rng, &a);
+        let (w, w_prime) = random_wrapper_pair(&mut rng, 9, 3);
+        let ok = check_lemma0(&c, &a, &w_prime, &w).unwrap().validated()
+            && check_theorem1(&c, &a, &w_prime, &w).unwrap().validated()
+            && check_fair_theorem1(&c, &a, &w_prime, &w)
+                .unwrap()
+                .validated();
+        (!ok).then_some(seed)
+    });
+    let failures: Vec<u64> = failures.into_iter().flatten().collect();
+    assert!(failures.is_empty(), "falsified at seeds {failures:?}");
+}
+
+#[test]
+fn mode_flow_is_a_cycle() {
+    for mode in [Mode::Thinking, Mode::Hungry, Mode::Eating] {
+        // Exactly two successors are allowed from every mode: itself and
+        // the next mode around the t -> h -> e cycle.
+        let allowed = [Mode::Thinking, Mode::Hungry, Mode::Eating]
+            .into_iter()
+            .filter(|&next| mode.flow_allows(next))
+            .count();
+        assert_eq!(allowed, 2);
+    }
+}
+
+#[test]
+fn fifo_channels_deliver_in_order_under_random_delays() {
+    use graybox::simnet::{Context, Process, SimConfig, SimTime, Simulation};
+
+    #[derive(Debug)]
+    struct Sink(ProcessId, Vec<u64>);
+    impl Process for Sink {
+        type Msg = u64;
+        type Client = ();
+        fn id(&self) -> ProcessId {
+            self.0
+        }
+        fn on_message(&mut self, _: ProcessId, msg: u64, _: &mut Context<u64>) {
+            self.1.push(msg);
+        }
+        fn on_timer(&mut self, _: u32, _: &mut Context<u64>) {}
+        fn on_client(&mut self, _: (), _: &mut Context<u64>) {}
+    }
+
+    for seed in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1F0);
+        let count = rng.gen_range(1usize..30);
+        let mut sim = Simulation::new(
+            vec![Sink(ProcessId(0), vec![]), Sink(ProcessId(1), vec![])],
+            SimConfig {
+                seed,
+                min_delay: 1,
+                max_delay: 20,
+                fifo: true,
+            },
+        );
+        for i in 0..count as u64 {
+            sim.inject_message(ProcessId(0), ProcessId(1), i);
+        }
+        sim.run_until(SimTime::from(10_000));
+        let received = &sim.process(ProcessId(1)).1;
+        let expected: Vec<u64> = (0..count as u64).collect();
+        assert_eq!(received, &expected, "seed {seed} count {count}");
+    }
+}
+
+#[test]
+fn wrapped_deadlock_recovery_is_universal() {
+    use graybox::faults::{scenarios, RunConfig};
+    use graybox::simnet::SimTime;
+    use graybox::tme::Implementation;
+    use graybox::wrapper::WrapperConfig;
+
+    let failures = sweep_seeds(0..32u64, |case| {
+        // Vary both the scenario seed and the wrapper timeout θ.
+        let mut rng = SmallRng::seed_from_u64(case ^ 0xDEAD);
+        let seed = rng.gen_range(0u64..40);
+        let theta = rng.gen_range(0u64..32);
+        let config = RunConfig::new(2, Implementation::RicartAgrawala)
+            .wrapper(WrapperConfig::timeout(theta))
+            .seed(seed)
+            .horizon(SimTime::from(6_000));
+        let (_, outcome) = scenarios::deadlock(&config);
+        let ok = outcome.verdict.stabilized && outcome.total_entries == 2;
+        (!ok).then_some((seed, theta))
+    });
+    let failures: Vec<(u64, u64)> = failures.into_iter().flatten().collect();
+    assert!(failures.is_empty(), "failed (seed, θ) pairs: {failures:?}");
+}
