@@ -2,10 +2,13 @@
 //!
 //! Times the CSR/bitset engine ([`FiniteSystem`]) against the retained
 //! `BTreeSet` baseline ([`ReferenceSystem`]) on the model-checking hot
-//! paths and writes the results to `BENCH_core.json`. Dependency-free
-//! (plain `std::time::Instant` loops) so it runs in the offline tier-1
-//! environment; the criterion suite in `crates/bench/criterion` is the
-//! networked, statistical counterpart.
+//! paths, and the packed-state GCL compiler against the retained
+//! decode/encode reference compiler on the TME case study
+//! (`gcl_compile/{2proc,3proc}`, plus the end-to-end streaming
+//! `tme_exhaustive/3proc` check), and writes the results to
+//! `BENCH_core.json`. Dependency-free (plain `std::time::Instant` loops)
+//! so it runs in the offline tier-1 environment; the criterion suite in
+//! `crates/bench/criterion` is the networked, statistical counterpart.
 //!
 //! Usage:
 //!
@@ -23,8 +26,8 @@
 use std::time::Instant;
 
 use graybox_core::reference::ReferenceSystem;
-use graybox_core::sweep::sweep_seeds_on;
-use graybox_core::{box_compose, is_stabilizing_to, FiniteSystem};
+use graybox_core::sweep::{available_workers, sweep_seeds_on};
+use graybox_core::{box_compose, is_stabilizing_to, tme_abstract, FiniteSystem};
 use graybox_rng::rngs::SmallRng;
 use graybox_rng::{Rng, SeedableRng};
 
@@ -66,6 +69,25 @@ fn bench<R>(name: &str, engine: &'static str, target_ms: u64, mut f: impl FnMut(
         sample.name, sample.engine, sample.ns_per_iter, sample.iters
     );
     sample
+}
+
+/// Times `f` exactly once and hands the result back. For multi-second
+/// workloads (the 3-process TME model) where a calibrated loop would take
+/// minutes; returning the value lets callers cross-check it after timing.
+fn bench_once<R>(name: &str, engine: &'static str, f: impl FnOnce() -> R) -> (Sample, R) {
+    let start = Instant::now();
+    let result = std::hint::black_box(f());
+    let sample = Sample {
+        name: name.to_string(),
+        engine,
+        iters: 1,
+        ns_per_iter: start.elapsed().as_nanos() as f64,
+    };
+    eprintln!(
+        "  {:<44} {:<9} {:>12.0} ns/iter  ({} iters)",
+        sample.name, sample.engine, sample.ns_per_iter, sample.iters
+    );
+    (sample, result)
 }
 
 /// The positive ("stabilizing") instance family: a legitimate ring core of
@@ -225,9 +247,7 @@ fn main() {
             let sys = build_csr(n, &init, &edges);
             is_stabilizing_to(&sys, &sys).holds()
         };
-        let workers = std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1);
+        let workers = available_workers();
         let name = format!("sweep/{seeds}x(n={n})");
         samples.push(bench(&name, "serial", target_ms, || {
             sweep_seeds_on(0..seeds, 1, decide).len()
@@ -235,6 +255,69 @@ fn main() {
         samples.push(bench(&name, "parallel", target_ms, || {
             sweep_seeds_on(0..seeds, workers, decide).len()
         }));
+    }
+
+    // --- GCL compilation: packed streaming vs decode/encode reference,
+    // on the wrapped 2-process TME abstraction (the real case-study
+    // workload, 648 states x 14 commands, full fair compile). ---
+    {
+        let (packed, packed_init) = tme_abstract::program_2proc(true);
+        let (reference, reference_init) = tme_abstract::program_2proc_reference(true);
+        // Sanity: the two compilers must produce identical systems before
+        // we time them.
+        {
+            let (fair_a, plain_a) = packed.compile_fair(&packed_init).expect("packed 2proc");
+            let (fair_b, plain_b) = reference
+                .compile_fair(&reference_init)
+                .expect("reference 2proc");
+            assert_eq!(plain_a.system(), plain_b.system());
+            assert_eq!(fair_a.union(), fair_b.union());
+        }
+        let name = "gcl_compile/2proc".to_string();
+        samples.push(bench(&name, "packed", target_ms, || {
+            packed.compile_fair(&packed_init).expect("packed 2proc")
+        }));
+        samples.push(bench(&name, "reference", target_ms, || {
+            reference
+                .compile_fair(&reference_init)
+                .expect("reference 2proc")
+        }));
+    }
+
+    // --- GCL compilation at scale: the unwrapped 3-process abstraction
+    // (7 558 272 states x 27 commands), one timed compile per engine —
+    // the reference compiler takes minutes here, which is the point.
+    // Skipped in smoke mode to keep CI fast. ---
+    if !smoke {
+        let (packed, packed_init) = tme_abstract::program_nproc(3, false);
+        let (reference, reference_init) = tme_abstract::program_nproc_reference(3, false);
+        let name = "gcl_compile/3proc".to_string();
+        let (sample, packed_sys) = bench_once(&name, "packed", || {
+            packed.compile(&packed_init).expect("packed 3proc")
+        });
+        samples.push(sample);
+        let (sample, reference_sys) = bench_once(&name, "reference", || {
+            reference.compile(&reference_init).expect("reference 3proc")
+        });
+        samples.push(sample);
+        assert_eq!(
+            packed_sys.system(),
+            reference_sys.system(),
+            "3proc compilers disagree"
+        );
+    }
+
+    // --- End-to-end streaming check of the 3-process abstraction: the
+    // T9 Scale::Full workload (compile-free fair self-check, no
+    // materialized FairComposition). Skipped in smoke mode. ---
+    if !smoke {
+        let (sample, verdicts) = bench_once("tme_exhaustive/3proc", "packed-streaming", || {
+            tme_abstract::build_n(3)
+                .and_then(|tme| tme.check())
+                .expect("3proc check runs")
+        });
+        assert!(verdicts.as_predicted(), "3proc verdicts regressed");
+        samples.push(sample);
     }
 
     // --- Aggregate speedups (baseline ns / new ns, per bench name). ---
@@ -260,6 +343,10 @@ fn main() {
     speedups.extend(speedup("reachable_from/n=1000", "csr", "reference"));
     speedups.extend(speedup("box_compose+decide/n=1000", "csr", "reference"));
     speedups.extend(speedup("sweep/64x(n=400)", "parallel", "serial"));
+    speedups.extend(speedup("gcl_compile/2proc", "packed", "reference"));
+    if !smoke {
+        speedups.extend(speedup("gcl_compile/3proc", "packed", "reference"));
+    }
 
     eprintln!();
     for (name, factor) in &speedups {
@@ -269,8 +356,9 @@ fn main() {
     // --- Emit BENCH_core.json (hand-rolled; no serde offline). ---
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"harness\": \"graybox-bench\",\n  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
+        "  \"harness\": \"graybox-bench\",\n  \"mode\": \"{}\",\n  \"threads_used\": {},\n",
+        if smoke { "smoke" } else { "full" },
+        available_workers()
     ));
     json.push_str("  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -306,5 +394,17 @@ fn main() {
     assert!(
         headline >= 10.0,
         "CSR engine regressed: only {headline:.1}x over the reference at n=1000"
+    );
+
+    // Same contract for the packed GCL compiler: at least 5x over the
+    // decode/encode reference on the 2-process case study.
+    let compile_speedup = speedups
+        .iter()
+        .find(|(name, _)| name == "gcl_compile/2proc")
+        .map(|&(_, f)| f)
+        .unwrap_or(0.0);
+    assert!(
+        compile_speedup >= 5.0,
+        "packed GCL compiler regressed: only {compile_speedup:.1}x over the reference at 2proc"
     );
 }

@@ -53,8 +53,8 @@ pub fn ring(n: usize, k: usize) -> Result<Ring, GclError> {
         let x_last = vars[n - 1];
         program.command(
             "bottom",
-            move |s| s[x0] == s[x_last],
-            move |s| s[x0] = (s[x0] + 1) % k,
+            move |s| s.get(x0) == s.get(x_last),
+            move |s| s.set(x0, (s.get(x0) + 1) % k),
         );
     }
     // Other machines.
@@ -63,8 +63,8 @@ pub fn ring(n: usize, k: usize) -> Result<Ring, GclError> {
         let prev = vars[i - 1];
         program.command(
             format!("copy{i}"),
-            move |s| s[xi] != s[prev],
-            move |s| s[xi] = s[prev],
+            move |s| s.get(xi) != s.get(prev),
+            move |s| s.set(xi, s.get(prev)),
         );
     }
     let (fair, compiled) = program.compile_fair(|_| true)?;

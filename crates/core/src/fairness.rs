@@ -69,6 +69,25 @@ impl FairComposition {
         Ok(FairComposition { components, union })
     }
 
+    /// Assembles a composition from components and their precomputed
+    /// edge-union — the streaming GCL compiler produces both in one sweep,
+    /// so re-deriving the union via repeated [`box_compose`] would double
+    /// the work. The caller guarantees `union` equals the box composition
+    /// of `components` (the packed compiler's differential tests assert
+    /// it).
+    pub(crate) fn from_parts(
+        components: Vec<FiniteSystem>,
+        union: FiniteSystem,
+    ) -> Result<Self, SystemError> {
+        if components.is_empty() {
+            return Err(SystemError::EmptyStateSpace);
+        }
+        debug_assert!(components
+            .iter()
+            .all(|c| c.num_states() == union.num_states()));
+        Ok(FairComposition { components, union })
+    }
+
     /// The underlying edge-union system (the pure `⊓` of the components).
     pub fn union(&self) -> &FiniteSystem {
         &self.union

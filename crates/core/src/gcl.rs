@@ -1,4 +1,5 @@
-//! A guarded-command language over finite variable domains.
+//! A guarded-command language over finite variable domains, compiled by a
+//! packed-state streaming pipeline.
 //!
 //! The paper describes implementations in Dijkstra–Scholten guarded
 //! commands and specifications in UNITY; both are fusion-closed. This
@@ -6,10 +7,40 @@
 //! [`FiniteSystem`]s:
 //!
 //! * [`Program::compile`] yields the pure path-set system (any enabled
-//!   command may fire; quiescent states stutter), and
+//!   command may fire; quiescent states stutter),
 //! * [`Program::compile_fair`] yields a [`FairComposition`] with one
-//!   component per command, which is exactly UNITY's weakly fair execution
-//!   model (a disabled command executes as a skip).
+//!   component per command — UNITY's weakly fair execution model (a
+//!   disabled command executes as a skip) — in a *single* full-space
+//!   sweep,
+//! * [`Program::compile_reachable`] compiles only the init-reachable
+//!   fragment by interned frontier BFS (for init-anchored queries such as
+//!   invariants over legitimate behaviour), and
+//! * [`Program::fair_self_check`] decides "the weakly fair composition of
+//!   this program's commands is stabilizing to its own init-reachable
+//!   behaviour" *without materializing any per-command component* — the
+//!   path that scales the exhaustive TME check to multi-million-state
+//!   abstractions.
+//!
+//! # The packed representation
+//!
+//! A global state is a single mixed-radix `u64` word: variable `v` with
+//! declaration index `i` contributes `value(v) * stride(i)`, where
+//! `stride(i)` is the product of the domains declared before `v`. The
+//! word *is* the dense state index used by [`FiniteSystem`], so no
+//! separate encode step exists. Guards and effects run against a
+//! [`State`] view that keeps a decoded copy of the current word in a
+//! reusable buffer: reads are array loads, writes update the word by
+//! stride arithmetic (`word += (new - old) * stride`), and an undo log
+//! rolls each command's effect back without re-decoding — the full-space
+//! sweeps advance the word like an odometer and never allocate per state.
+//!
+//! Compiled successor rows are staged per state in a scratch buffer
+//! (sorted, deduplicated) and appended to a flat CSR array, so no
+//! intermediate `Vec<Vec<usize>>` of edges is ever built.
+//!
+//! The pre-packed decode/encode compiler is retained unchanged in
+//! [`reference`] and cross-validated against this pipeline by the
+//! differential suites.
 //!
 //! # Example
 //!
@@ -18,28 +49,41 @@
 //!
 //! let mut program = Program::new();
 //! let x = program.var("x", 3);
-//! program.command("inc", move |s| s[x] < 2, move |s| s[x] += 1);
-//! let compiled = program.compile(|s| s[x] == 0)?;
+//! program.command(
+//!     "inc",
+//!     move |s| s.get(x) < 2,
+//!     move |s| s.set(x, s.get(x) + 1),
+//! );
+//! let compiled = program.compile(|s| s.get(x) == 0)?;
 //! assert_eq!(compiled.system().num_states(), 3);
 //! assert!(compiled.system().has_edge(0, 1));
 //! assert!(compiled.system().has_edge(2, 2)); // quiescent stutter
 //! # Ok::<(), graybox_core::gcl::GclError>(())
 //! ```
 
-use std::fmt;
-use std::ops::{Index, IndexMut};
+pub mod reference;
 
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::bitset::StateSet;
 use crate::fairness::FairComposition;
 use crate::{FiniteSystem, SystemError};
 
 /// Default cap on compiled state-space size, to catch accidental blowups.
 pub const DEFAULT_MAX_STATES: usize = 1 << 20;
 
-/// A handle to a program variable, usable to index a [`Valuation`].
+/// A handle to a program variable, usable with [`State::get`] /
+/// [`State::set`] (packed pipeline) or to index a
+/// [`reference::Valuation`] (retained compiler).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarRef(usize);
 
 impl VarRef {
+    pub(crate) fn new(index: usize) -> Self {
+        VarRef(index)
+    }
+
     /// The variable's declaration index (its position in decoded value
     /// vectors such as [`CompiledProgram::decode`]).
     pub fn index(self) -> usize {
@@ -47,36 +91,14 @@ impl VarRef {
     }
 }
 
-/// An assignment of a value to every program variable.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Valuation(Vec<usize>);
-
-impl Valuation {
-    /// The raw values, indexed by declaration order.
-    pub fn values(&self) -> &[usize] {
-        &self.0
-    }
-}
-
-impl Index<VarRef> for Valuation {
-    type Output = usize;
-    fn index(&self, var: VarRef) -> &usize {
-        &self.0[var.0]
-    }
-}
-
-impl IndexMut<VarRef> for Valuation {
-    fn index_mut(&mut self, var: VarRef) -> &mut usize {
-        &mut self.0[var.0]
-    }
-}
-
 /// Error raised while compiling a [`Program`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GclError {
-    /// The variable domains multiply out beyond the configured cap.
+    /// The variable domains multiply out beyond the configured cap (or
+    /// beyond what a packed `u64` state word can hold).
     TooManyStates {
-        /// Product of the variable domain sizes.
+        /// Product of the variable domain sizes (`usize::MAX` when the
+        /// product itself overflows).
         actual: usize,
         /// The configured cap.
         max: usize,
@@ -121,8 +143,131 @@ impl From<SystemError> for GclError {
     }
 }
 
-type Guard = Box<dyn Fn(&Valuation) -> bool>;
-type Effect = Box<dyn Fn(&mut Valuation)>;
+/// Precomputed mixed-radix packing: per-variable domains and strides.
+#[derive(Debug, Clone)]
+struct Layout {
+    domains: Vec<u64>,
+    strides: Vec<u64>,
+    total: u64,
+}
+
+impl Layout {
+    /// Decodes one field straight from a packed word (cold-path helper;
+    /// sweeps use the [`State`] buffer instead).
+    fn field(&self, word: u64, var: usize) -> u64 {
+        (word / self.strides[var]) % self.domains[var]
+    }
+}
+
+/// A mutable view of one packed global state, passed to guards and
+/// effects.
+///
+/// Reads ([`get`](State::get)) are array loads from a decoded buffer;
+/// writes ([`set`](State::set)) update both the buffer and the packed
+/// word by stride arithmetic. During a command's effect the view records
+/// an undo log so the compiler can roll the state back without
+/// re-decoding. Assigning a value outside the variable's domain poisons
+/// the state (the assignment is dropped) and the enclosing compilation
+/// reports [`GclError::OutOfDomain`].
+#[derive(Debug)]
+pub struct State<'a> {
+    layout: &'a Layout,
+    word: u64,
+    values: Vec<u64>,
+    undo: Vec<(usize, u64)>,
+    recording: bool,
+    out_of_domain: bool,
+}
+
+impl<'a> State<'a> {
+    fn new(layout: &'a Layout) -> Self {
+        State {
+            layout,
+            word: 0,
+            values: vec![0; layout.domains.len()],
+            undo: Vec::new(),
+            recording: false,
+            out_of_domain: false,
+        }
+    }
+
+    /// Positions the view at `word`, decoding every field once.
+    fn load(&mut self, word: u64) {
+        debug_assert!(!self.recording);
+        self.word = word;
+        let mut rest = word;
+        for (value, &domain) in self.values.iter_mut().zip(&self.layout.domains) {
+            *value = rest % domain;
+            rest /= domain;
+        }
+    }
+
+    /// Advances to the next packed word in mixed-radix (odometer) order.
+    fn advance(&mut self) {
+        debug_assert!(!self.recording);
+        self.word += 1;
+        for (value, &domain) in self.values.iter_mut().zip(&self.layout.domains) {
+            *value += 1;
+            if *value < domain {
+                return;
+            }
+            *value = 0;
+        }
+    }
+
+    fn begin_effect(&mut self) {
+        debug_assert!(self.undo.is_empty());
+        self.recording = true;
+    }
+
+    /// Rolls back the recorded effect and returns the target word it
+    /// produced, or `Err(())` if the effect assigned out of domain.
+    fn finish_effect(&mut self) -> Result<u64, ()> {
+        let target = self.word;
+        let ok = !self.out_of_domain;
+        while let Some((var, old)) = self.undo.pop() {
+            let stride = self.layout.strides[var];
+            self.word = self.word - self.values[var] * stride + old * stride;
+            self.values[var] = old;
+        }
+        self.recording = false;
+        self.out_of_domain = false;
+        if ok {
+            Ok(target)
+        } else {
+            Err(())
+        }
+    }
+
+    /// The current value of `var`.
+    pub fn get(&self, var: VarRef) -> usize {
+        self.values[var.0] as usize
+    }
+
+    /// Assigns `value` to `var`. Values outside the domain poison the
+    /// state and are reported by the compiler as
+    /// [`GclError::OutOfDomain`].
+    pub fn set(&mut self, var: VarRef, value: usize) {
+        let value = value as u64;
+        if value >= self.layout.domains[var.0] {
+            self.out_of_domain = true;
+            return;
+        }
+        let old = self.values[var.0];
+        if old == value {
+            return;
+        }
+        if self.recording {
+            self.undo.push((var.0, old));
+        }
+        let stride = self.layout.strides[var.0];
+        self.word = self.word - old * stride + value * stride;
+        self.values[var.0] = value;
+    }
+}
+
+type Guard = Box<dyn for<'a, 'b> Fn(&'a State<'b>) -> bool>;
+type Effect = Box<dyn for<'a, 'b> Fn(&'a mut State<'b>)>;
 
 struct Command {
     name: String,
@@ -164,8 +309,8 @@ impl Program {
     pub fn command(
         &mut self,
         name: impl Into<String>,
-        guard: impl Fn(&Valuation) -> bool + 'static,
-        effect: impl Fn(&mut Valuation) + 'static,
+        guard: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + 'static,
+        effect: impl for<'a, 'b> Fn(&'a mut State<'b>) + 'static,
     ) {
         self.commands.push(Command {
             name: name.into(),
@@ -185,124 +330,568 @@ impl Program {
         self.commands.len()
     }
 
-    fn state_count(&self) -> Result<usize, GclError> {
-        let mut total = 1usize;
+    /// The size of the full domain product, i.e. the number of states a
+    /// full-space compile would produce.
+    ///
+    /// # Errors
+    ///
+    /// [`GclError::EmptyDomain`] or [`GclError::TooManyStates`] exactly as
+    /// the compile entry points would report them.
+    pub fn state_space(&self) -> Result<usize, GclError> {
+        Ok(self.layout()?.total as usize)
+    }
+
+    /// Builds the stride tables with checked arithmetic: the domain
+    /// product must fit the configured cap — and, transitively, the `u64`
+    /// state word. Overflow of the product itself is reported as
+    /// [`GclError::TooManyStates`] rather than wrapping.
+    fn layout(&self) -> Result<Layout, GclError> {
+        let max = self.max_states.unwrap_or(DEFAULT_MAX_STATES);
+        let overflow = GclError::TooManyStates {
+            actual: usize::MAX,
+            max,
+        };
+        let mut domains = Vec::with_capacity(self.vars.len());
+        let mut strides = Vec::with_capacity(self.vars.len());
+        let mut total = 1u64;
         for (name, domain) in &self.vars {
             if *domain == 0 {
                 return Err(GclError::EmptyDomain { var: name.clone() });
             }
-            total = total.checked_mul(*domain).ok_or(GclError::TooManyStates {
-                actual: usize::MAX,
-                max: self.max_states.unwrap_or(DEFAULT_MAX_STATES),
-            })?;
+            let domain = u64::try_from(*domain).map_err(|_| overflow.clone())?;
+            strides.push(total);
+            domains.push(domain);
+            total = total.checked_mul(domain).ok_or_else(|| overflow.clone())?;
         }
-        let max = self.max_states.unwrap_or(DEFAULT_MAX_STATES);
-        if total > max {
-            return Err(GclError::TooManyStates { actual: total, max });
+        let actual = usize::try_from(total).map_err(|_| overflow.clone())?;
+        if actual > max {
+            return Err(GclError::TooManyStates { actual, max });
         }
-        Ok(total)
+        Ok(Layout {
+            domains,
+            strides,
+            total,
+        })
     }
 
-    fn decode(&self, mut state: usize) -> Valuation {
-        let mut values = Vec::with_capacity(self.vars.len());
-        for (_, domain) in &self.vars {
-            values.push(state % domain);
-            state /= domain;
-        }
-        Valuation(values)
-    }
-
-    fn encode(&self, valuation: &Valuation) -> Result<usize, GclError> {
-        let mut state = 0usize;
-        for ((_, domain), &value) in self.vars.iter().zip(&valuation.0).rev() {
-            if value >= *domain {
-                return Err(GclError::OutOfDomain {
-                    command: String::new(),
-                });
+    /// Runs every command at the current state of `view`, appending the
+    /// sorted, deduplicated successor row to `row` (a quiescent state
+    /// stutters). Returns the index of the first enabled command whose
+    /// effect left its domain, as `Err`.
+    fn successor_row(&self, view: &mut State<'_>, row: &mut Vec<usize>) -> Result<(), usize> {
+        row.clear();
+        for (index, command) in self.commands.iter().enumerate() {
+            if (command.guard)(view) {
+                view.begin_effect();
+                (command.effect)(view);
+                match view.finish_effect() {
+                    Ok(target) => row.push(target as usize),
+                    Err(()) => return Err(index),
+                }
             }
-            state = state * domain + value;
         }
-        Ok(state)
+        if row.is_empty() {
+            row.push(view.word as usize);
+        }
+        row.sort_unstable();
+        row.dedup();
+        Ok(())
+    }
+
+    fn out_of_domain(&self, command: usize) -> GclError {
+        GclError::OutOfDomain {
+            command: self.commands[command].name.clone(),
+        }
+    }
+
+    /// Computes the successor row of one packed state — sorted,
+    /// deduplicated, with the quiescence stutter — without compiling
+    /// anything. The single-state probe behind deadlock/quiescence
+    /// queries on spaces too large to materialize.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`]. A `state` outside the domain product is a caller
+    /// bug and panics.
+    pub fn step(&self, state: usize) -> Result<Vec<usize>, GclError> {
+        let layout = self.layout()?;
+        assert!(
+            (state as u64) < layout.total,
+            "state {state} outside the {}-state space",
+            layout.total
+        );
+        let mut view = State::new(&layout);
+        view.load(state as u64);
+        let mut row = Vec::with_capacity(self.commands.len().max(1));
+        self.successor_row(&mut view, &mut row)
+            .map_err(|c| self.out_of_domain(c))?;
+        Ok(row)
     }
 
     /// Compiles to the pure path-set system: from each state, every enabled
     /// command contributes an edge; states with no enabled command stutter.
     ///
+    /// One streaming sweep evaluates guards and effects on the packed
+    /// word and appends each staged row directly to the CSR arrays.
+    ///
     /// # Errors
     ///
     /// See [`GclError`].
-    pub fn compile(&self, init: impl Fn(&Valuation) -> bool) -> Result<CompiledProgram, GclError> {
-        let total = self.state_count()?;
-        let mut builder = FiniteSystem::builder(total);
-        let mut any_init = false;
+    pub fn compile(
+        &self,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+    ) -> Result<CompiledProgram, GclError> {
+        let layout = self.layout()?;
+        let total = layout.total as usize;
+        let mut init_set = StateSet::with_capacity(total);
+        let mut fwd_off = vec![0usize; total + 1];
+        let mut fwd_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
+        let mut row: Vec<usize> = Vec::with_capacity(self.commands.len().max(1));
+        let mut view = State::new(&layout);
         for state in 0..total {
-            let valuation = self.decode(state);
-            if init(&valuation) {
-                builder = builder.initial(state);
-                any_init = true;
+            if init(&view) {
+                init_set.insert(state);
             }
-            let mut enabled = false;
-            for command in &self.commands {
-                if (command.guard)(&valuation) {
-                    enabled = true;
-                    let mut next = valuation.clone();
-                    (command.effect)(&mut next);
-                    let encoded = self.encode(&next).map_err(|_| GclError::OutOfDomain {
-                        command: command.name.clone(),
-                    })?;
-                    builder = builder.edge(state, encoded);
-                }
-            }
-            if !enabled {
-                builder = builder.edge(state, state);
-            }
+            self.successor_row(&mut view, &mut row)
+                .map_err(|c| self.out_of_domain(c))?;
+            fwd_to.extend_from_slice(&row);
+            fwd_off[state + 1] = fwd_to.len();
+            view.advance();
         }
-        if !any_init {
+        if init_set.is_empty() {
             return Err(GclError::NoInitialState);
         }
+        let system = FiniteSystem::from_csr(total, init_set, fwd_off, fwd_to)?;
         Ok(CompiledProgram {
-            system: builder.build()?,
+            system,
             var_info: self.vars.clone(),
         })
     }
 
     /// Compiles to UNITY's weakly fair execution model: one component per
     /// command, where a disabled command executes as a skip, composed via
-    /// [`FairComposition`]. Fair computations execute every command
-    /// infinitely often.
+    /// [`FairComposition`].
+    ///
+    /// A single full-space sweep produces the plain system, every
+    /// per-command component, and the edge-union system (the old pipeline
+    /// ran one extra sweep per command).
     ///
     /// # Errors
     ///
     /// See [`GclError`].
     pub fn compile_fair(
         &self,
-        init: impl Fn(&Valuation) -> bool,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
     ) -> Result<(FairComposition, CompiledProgram), GclError> {
-        let compiled = self.compile(&init)?;
-        let total = compiled.system.num_states();
-        let mut components = Vec::with_capacity(self.commands.len());
-        for command in &self.commands {
-            let mut builder = FiniteSystem::builder(total);
-            for state in 0..total {
-                let valuation = self.decode(state);
-                if init(&valuation) {
-                    builder = builder.initial(state);
-                }
-                if (command.guard)(&valuation) {
-                    let mut next = valuation.clone();
-                    (command.effect)(&mut next);
-                    let encoded = self.encode(&next).map_err(|_| GclError::OutOfDomain {
-                        command: command.name.clone(),
-                    })?;
-                    builder = builder.edge(state, encoded);
+        let layout = self.layout()?;
+        let total = layout.total as usize;
+        let ncmd = self.commands.len();
+
+        // The one sweep: plain CSR rows, the union CSR rows, and each
+        // command's component row (its target when enabled, a skip
+        // self-loop when disabled) written straight into that component's
+        // final successor array — no post-pass, no copies. The union row
+        // is the plain row plus a skip self-loop whenever some command is
+        // disabled — derived from the already-sorted plain row by
+        // inserting `state` in place, so no second full-space pass and no
+        // second per-state sort.
+        let mut init_set = StateSet::with_capacity(total);
+        let mut fwd_off = vec![0usize; total + 1];
+        let mut fwd_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
+        let mut union_off = vec![0usize; total + 1];
+        let mut union_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
+        let mut comp_to: Vec<Vec<usize>> = (0..ncmd).map(|_| vec![0usize; total]).collect();
+        let mut row: Vec<usize> = Vec::with_capacity(ncmd.max(1));
+        let mut view = State::new(&layout);
+        for state in 0..total {
+            if init(&view) {
+                init_set.insert(state);
+            }
+            row.clear();
+            let mut enabled = 0usize;
+            for (index, command) in self.commands.iter().enumerate() {
+                comp_to[index][state] = if (command.guard)(&view) {
+                    view.begin_effect();
+                    (command.effect)(&mut view);
+                    let target = view
+                        .finish_effect()
+                        .map_err(|()| self.out_of_domain(index))?
+                        as usize;
+                    row.push(target);
+                    enabled += 1;
+                    target
                 } else {
-                    builder = builder.edge(state, state);
+                    state
+                };
+            }
+            if row.is_empty() {
+                row.push(state);
+            }
+            row.sort_unstable();
+            row.dedup();
+            fwd_to.extend_from_slice(&row);
+            fwd_off[state + 1] = fwd_to.len();
+            if enabled == ncmd {
+                union_to.extend_from_slice(&row);
+            } else {
+                // Some command is disabled (or none are enabled, in which
+                // case the stutter row already equals `[state]`): the
+                // union gains the skip self-loop.
+                match row.binary_search(&state) {
+                    Ok(_) => union_to.extend_from_slice(&row),
+                    Err(pos) => {
+                        union_to.extend_from_slice(&row[..pos]);
+                        union_to.push(state);
+                        union_to.extend_from_slice(&row[pos..]);
+                    }
                 }
             }
-            components.push(builder.build()?);
+            union_off[state + 1] = union_to.len();
+            view.advance();
         }
-        let fair = FairComposition::new(components).map_err(GclError::System)?;
-        Ok((fair, compiled))
+        if init_set.is_empty() {
+            return Err(GclError::NoInitialState);
+        }
+        let plain = FiniteSystem::from_csr(total, init_set.clone(), fwd_off, fwd_to)?;
+
+        if ncmd == 0 {
+            return Err(GclError::System(SystemError::EmptyStateSpace));
+        }
+
+        // Components: exactly one successor per state (target or skip);
+        // the sweep already left each command's successor array final.
+        let trivial_off: Vec<usize> = (0..=total).collect();
+        let mut components = Vec::with_capacity(ncmd);
+        for targets in comp_to {
+            components.push(FiniteSystem::from_csr(
+                total,
+                init_set.clone(),
+                trivial_off.clone(),
+                targets,
+            )?);
+        }
+
+        let union = FiniteSystem::from_csr(total, init_set, union_off, union_to)?;
+        let fair = FairComposition::from_parts(components, union).map_err(GclError::System)?;
+        Ok((
+            fair,
+            CompiledProgram {
+                system: plain,
+                var_info: self.vars.clone(),
+            },
+        ))
+    }
+
+    /// Compiles only the init-reachable fragment of the state space by
+    /// interned frontier BFS over packed words: states are discovered
+    /// from the initial predicate outward and renumbered densely in
+    /// discovery order (initial states first), so init-anchored queries
+    /// (invariants over legitimate behaviour, `reachable_from_init`)
+    /// never pay for the full domain product.
+    ///
+    /// The full space is still *scanned once* (cheaply, no guard
+    /// evaluation) to enumerate the states matching `init`.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn compile_reachable(
+        &self,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+    ) -> Result<ReachableProgram, GclError> {
+        let layout = self.layout()?;
+        let total = layout.total as usize;
+        let mut ids: HashMap<u64, usize> = HashMap::new();
+        let mut words: Vec<u64> = Vec::new();
+        let mut view = State::new(&layout);
+        for _ in 0..total {
+            if init(&view) {
+                ids.insert(view.word, words.len());
+                words.push(view.word);
+            }
+            view.advance();
+        }
+        if words.is_empty() {
+            return Err(GclError::NoInitialState);
+        }
+        let num_init = words.len();
+
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut row: Vec<usize> = Vec::with_capacity(self.commands.len().max(1));
+        let mut cursor = 0usize;
+        while cursor < words.len() {
+            let word = words[cursor];
+            view.load(word);
+            self.successor_row(&mut view, &mut row)
+                .map_err(|c| self.out_of_domain(c))?;
+            for &target in &row {
+                let next = *ids.entry(target as u64).or_insert_with(|| {
+                    words.push(target as u64);
+                    words.len() - 1
+                });
+                edges.push((cursor, next));
+            }
+            cursor += 1;
+        }
+
+        let system = FiniteSystem::builder(words.len())
+            .initials(0..num_init)
+            .edges(edges)
+            .build()?;
+        Ok(ReachableProgram {
+            system,
+            words,
+            var_info: self.vars.clone(),
+            layout,
+        })
+    }
+
+    /// Decides, in streaming fashion, whether the weakly fair composition
+    /// of this program's commands is stabilizing to the program's own
+    /// init-reachable ("legitimate") behaviour — the question both TME
+    /// abstraction checks ask — from **every** state of the full domain
+    /// product.
+    ///
+    /// This is semantically identical to
+    /// `compile_fair(init)?.0.is_stabilizing_to(&stutter_closure(compiled.system()))`
+    /// (the differential suite asserts so), but materializes no
+    /// per-command component and no second system: one sweep writes the
+    /// union graph's CSR rows in 32-bit form, an iterative Tarjan pass
+    /// over those rows yields SCC ids, and one more sweep classifies each
+    /// command's edges per SCC. A violating fair computation exists iff
+    /// some SCC contains an edge leaving the legitimate set and every
+    /// command can act inside it (a disabled command skips, which
+    /// counts). Peak memory is `O(V + E)` words of 32 bits instead of
+    /// `O(commands · V)` full systems.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`]; programs with no commands are rejected like
+    /// [`FairComposition::new`] rejects empty compositions.
+    pub fn fair_self_check(
+        &self,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+    ) -> Result<FairSelfReport, GclError> {
+        let layout = self.layout()?;
+        let total = layout.total as usize;
+        let ncmd = self.commands.len();
+        if ncmd == 0 {
+            return Err(GclError::System(SystemError::EmptyStateSpace));
+        }
+        if u32::try_from(total).is_err() {
+            return Err(GclError::TooManyStates {
+                actual: total,
+                max: u32::MAX as usize,
+            });
+        }
+
+        // Sweep 1: the union graph (every enabled command's target, plus
+        // a skip self-loop wherever some command is disabled), staged per
+        // row into 32-bit CSR arrays; initial states on the side.
+        let mut off = vec![0u32; total + 1];
+        let mut to: Vec<u32> = Vec::with_capacity(total.saturating_mul(2));
+        let mut init_seeds: Vec<usize> = Vec::new();
+        let mut row: Vec<usize> = Vec::with_capacity(ncmd + 1);
+        let mut view = State::new(&layout);
+        for state in 0..total {
+            if init(&view) {
+                init_seeds.push(state);
+            }
+            row.clear();
+            let mut any_disabled = false;
+            for (index, command) in self.commands.iter().enumerate() {
+                if (command.guard)(&view) {
+                    view.begin_effect();
+                    (command.effect)(&mut view);
+                    let target = view
+                        .finish_effect()
+                        .map_err(|()| self.out_of_domain(index))?;
+                    row.push(target as usize);
+                } else {
+                    any_disabled = true;
+                }
+            }
+            if any_disabled {
+                row.push(state);
+            }
+            row.sort_unstable();
+            row.dedup();
+            for &target in &row {
+                to.push(target as u32);
+            }
+            off[state + 1] = to.len() as u32;
+            view.advance();
+        }
+        if init_seeds.is_empty() {
+            return Err(GclError::NoInitialState);
+        }
+
+        // Legitimate set: closure of the initial states. Self-loops never
+        // change reachability, so the union rows decide it exactly as the
+        // plain compilation would.
+        let mut legitimate = StateSet::with_capacity(total);
+        let mut frontier: Vec<usize> = Vec::new();
+        for &seed in &init_seeds {
+            if legitimate.insert(seed) {
+                frontier.push(seed);
+            }
+        }
+        while let Some(state) = frontier.pop() {
+            for &next in &to[off[state] as usize..off[state + 1] as usize] {
+                if legitimate.insert(next as usize) {
+                    frontier.push(next as usize);
+                }
+            }
+        }
+
+        let (scc_id, scc_count) = tarjan_u32(total, &off, &to);
+
+        // Sweep 2: how many commands can act inside each union SCC. An
+        // edge acts inside iff both endpoints share the SCC; a disabled
+        // command's skip (s, s) always does. This sweep visits states
+        // (not commands) outermost, so deduplication needs a full
+        // per-(SCC, command) bitmask — a last-command-seen marker would
+        // recount commands across states of the same SCC.
+        let words = ncmd.div_ceil(64);
+        let mut seen_cmd = vec![0u64; scc_count * words];
+        let mut present = vec![0u32; scc_count];
+        let mut view = State::new(&layout);
+        for state in 0..total {
+            let id = scc_id[state] as usize;
+            for (index, command) in self.commands.iter().enumerate() {
+                let inside = if (command.guard)(&view) {
+                    view.begin_effect();
+                    (command.effect)(&mut view);
+                    let target = view
+                        .finish_effect()
+                        .map_err(|()| self.out_of_domain(index))?;
+                    scc_id[target as usize] == scc_id[state]
+                } else {
+                    true
+                };
+                if inside {
+                    let word = &mut seen_cmd[id * words + index / 64];
+                    let mask = 1u64 << (index % 64);
+                    if *word & mask == 0 {
+                        *word |= mask;
+                        present[id] += 1;
+                    }
+                }
+            }
+            view.advance();
+        }
+        drop(seen_cmd);
+
+        // Scan: a divergent edge (one endpoint illegitimate) inside a
+        // fully represented SCC hosts a fair violating computation.
+        let ncmd = ncmd as u32;
+        let mut divergent_witness = None;
+        'scan: for state in 0..total {
+            let id = scc_id[state];
+            if present[id as usize] != ncmd {
+                continue;
+            }
+            for &next in &to[off[state] as usize..off[state + 1] as usize] {
+                if scc_id[next as usize] == id
+                    && !(legitimate.contains(state) && legitimate.contains(next as usize))
+                {
+                    divergent_witness = Some((state, next as usize));
+                    break 'scan;
+                }
+            }
+        }
+
+        Ok(FairSelfReport {
+            num_states: total,
+            legitimate,
+            divergent_witness,
+        })
+    }
+}
+
+/// Iterative Tarjan over 32-bit CSR rows (no recursion, no per-state
+/// allocation); returns SCC ids in completion (reverse topological)
+/// order, matching [`FiniteSystem::scc_ids`].
+fn tarjan_u32(num_states: usize, off: &[u32], to: &[u32]) -> (Vec<u32>, usize) {
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; num_states];
+    let mut low = vec![0u32; num_states];
+    let mut on_stack = StateSet::with_capacity(num_states);
+    let mut scc_id = vec![UNSET; num_states];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut call: Vec<(u32, u32)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_scc = 0u32;
+
+    for root in 0..num_states {
+        if index[root] != UNSET {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack.insert(root);
+        call.push((root as u32, off[root]));
+        while let Some(&mut (state, ref mut pos)) = call.last_mut() {
+            let state = state as usize;
+            if *pos < off[state + 1] {
+                let next = to[*pos as usize] as usize;
+                *pos += 1;
+                if index[next] == UNSET {
+                    index[next] = next_index;
+                    low[next] = next_index;
+                    next_index += 1;
+                    stack.push(next as u32);
+                    on_stack.insert(next);
+                    call.push((next as u32, off[next]));
+                } else if on_stack.contains(next) {
+                    low[state] = low[state].min(index[next]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    let parent = parent as usize;
+                    low[parent] = low[parent].min(low[state]);
+                }
+                if low[state] == index[state] {
+                    while let Some(member) = stack.pop() {
+                        on_stack.remove(member as usize);
+                        scc_id[member as usize] = next_scc;
+                        if member as usize == state {
+                            break;
+                        }
+                    }
+                    next_scc += 1;
+                }
+            }
+        }
+    }
+    (scc_id, next_scc as usize)
+}
+
+/// The verdict of [`Program::fair_self_check`].
+#[derive(Debug, Clone)]
+pub struct FairSelfReport {
+    /// Size of the full domain product the check swept.
+    pub num_states: usize,
+    /// The init-reachable ("legitimate") states, as packed state indices.
+    pub legitimate: StateSet,
+    /// A divergent edge inside a fully represented SCC — the seed of a
+    /// weakly fair computation that never converges — or `None` when the
+    /// program is stabilizing to its legitimate behaviour.
+    pub divergent_witness: Option<(usize, usize)>,
+}
+
+impl FairSelfReport {
+    /// True when the fair composition is stabilizing.
+    pub fn holds(&self) -> bool {
+        self.divergent_witness.is_none()
+    }
+
+    /// Number of legitimate states.
+    pub fn num_legitimate(&self) -> usize {
+        self.legitimate.len()
     }
 }
 
@@ -339,6 +928,46 @@ impl CompiledProgram {
     }
 }
 
+/// The result of [`Program::compile_reachable`]: the init-reachable
+/// fragment as a dense [`FiniteSystem`] plus the packed word behind each
+/// dense state id.
+#[derive(Debug, Clone)]
+pub struct ReachableProgram {
+    system: FiniteSystem,
+    words: Vec<u64>,
+    var_info: Vec<(String, usize)>,
+    layout: Layout,
+}
+
+impl ReachableProgram {
+    /// The compiled reachable-fragment system (every state is
+    /// init-reachable by construction).
+    pub fn system(&self) -> &FiniteSystem {
+        &self.system
+    }
+
+    /// The packed full-space word behind dense state `id`.
+    pub fn word(&self, id: usize) -> u64 {
+        self.words[id]
+    }
+
+    /// Decodes dense state `id` into a valuation (declaration order).
+    pub fn decode(&self, id: usize) -> Vec<usize> {
+        let word = self.words[id];
+        (0..self.var_info.len())
+            .map(|var| self.layout.field(word, var) as usize)
+            .collect()
+    }
+
+    /// Variable names in declaration order.
+    pub fn var_names(&self) -> Vec<&str> {
+        self.var_info
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,8 +976,12 @@ mod tests {
     fn counter_program_compiles() {
         let mut p = Program::new();
         let x = p.var("x", 4);
-        p.command("inc", move |s| s[x] < 3, move |s| s[x] += 1);
-        let compiled = p.compile(|s| s[x] == 0).unwrap();
+        p.command(
+            "inc",
+            move |s| s.get(x) < 3,
+            move |s| s.set(x, s.get(x) + 1),
+        );
+        let compiled = p.compile(|s| s.get(x) == 0).unwrap();
         assert_eq!(compiled.system().num_states(), 4);
         assert!(compiled.system().has_edge(0, 1));
         assert!(compiled.system().has_edge(3, 3)); // quiescent
@@ -365,7 +998,7 @@ mod tests {
         assert_eq!(compiled.system().num_states(), 15);
         for state in 0..15 {
             let vals = compiled.decode(state);
-            assert!(vals[x.0] < 3 && vals[y.0] < 5);
+            assert!(vals[x.index()] < 3 && vals[y.index()] < 5);
         }
         assert_eq!(compiled.var_names(), vec!["x", "y"]);
     }
@@ -374,9 +1007,9 @@ mod tests {
     fn nondeterminism_creates_branches() {
         let mut p = Program::new();
         let x = p.var("x", 3);
-        p.command("up", move |s| s[x] == 0, move |s| s[x] = 1);
-        p.command("over", move |s| s[x] == 0, move |s| s[x] = 2);
-        let compiled = p.compile(|s| s[x] == 0).unwrap();
+        p.command("up", move |s| s.get(x) == 0, move |s| s.set(x, 1));
+        p.command("over", move |s| s.get(x) == 0, move |s| s.set(x, 2));
+        let compiled = p.compile(|s| s.get(x) == 0).unwrap();
         assert!(compiled.system().has_edge(0, 1));
         assert!(compiled.system().has_edge(0, 2));
     }
@@ -385,7 +1018,7 @@ mod tests {
     fn out_of_domain_effect_is_reported() {
         let mut p = Program::new();
         let x = p.var("x", 2);
-        p.command("overflow", |_| true, move |s| s[x] = 7);
+        p.command("overflow", |_| true, move |s| s.set(x, 7));
         let err = p.compile(|_| true).unwrap_err();
         assert_eq!(
             err,
@@ -411,7 +1044,7 @@ mod tests {
         let mut p = Program::new();
         let x = p.var("x", 2);
         p.command("noop", |_| false, |_| {});
-        let err = p.compile(move |s| s[x] > 5).unwrap_err();
+        let err = p.compile(move |s| s.get(x) > 5).unwrap_err();
         assert_eq!(err, GclError::NoInitialState);
     }
 
@@ -432,12 +1065,33 @@ mod tests {
     }
 
     #[test]
+    fn domain_product_overflow_is_checked_not_wrapped() {
+        // 2^80 states cannot be represented; the error must be the
+        // saturated TooManyStates, not a wrapped product slipping under
+        // the cap.
+        let mut p = Program::new();
+        for i in 0..4 {
+            p.var(format!("x{i}"), 1 << 20);
+        }
+        p.command("noop", |_| false, |_| {});
+        p.max_states(usize::MAX);
+        assert_eq!(
+            p.compile(|_| true).unwrap_err(),
+            GclError::TooManyStates {
+                actual: usize::MAX,
+                max: usize::MAX
+            }
+        );
+        assert!(p.state_space().is_err());
+    }
+
+    #[test]
     fn fair_compilation_has_one_component_per_command() {
         let mut p = Program::new();
         let x = p.var("x", 2);
-        p.command("flip", move |s| s[x] == 0, move |s| s[x] = 1);
-        p.command("flop", move |s| s[x] == 1, move |s| s[x] = 0);
-        let (fair, compiled) = p.compile_fair(|s| s[x] == 0).unwrap();
+        p.command("flip", move |s| s.get(x) == 0, move |s| s.set(x, 1));
+        p.command("flop", move |s| s.get(x) == 1, move |s| s.set(x, 0));
+        let (fair, compiled) = p.compile_fair(|s| s.get(x) == 0).unwrap();
         assert_eq!(fair.components().len(), 2);
         // Disabled commands skip: "flip" at state 1 self-loops.
         assert!(fair.components()[0].has_edge(1, 1));
@@ -449,11 +1103,9 @@ mod tests {
 
     #[test]
     fn fair_union_may_add_skips_at_quiescent_states() {
-        // With a single command disabled somewhere, fair components add a
-        // skip edge that the pure compilation also adds (quiescence).
         let mut p = Program::new();
         let x = p.var("x", 2);
-        p.command("once", move |s| s[x] == 0, move |s| s[x] = 1);
+        p.command("once", move |s| s.get(x) == 0, move |s| s.set(x, 1));
         let (fair, compiled) = p.compile_fair(|_| true).unwrap();
         assert!(fair.union().has_edge(1, 1));
         assert!(compiled.system().has_edge(1, 1));
@@ -465,5 +1117,174 @@ mod tests {
         assert!(err.to_string().contains("10"));
         let err = GclError::NoInitialState;
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn effects_see_their_own_writes_and_roll_back() {
+        // An effect that reads after writing must see the new value, and
+        // the sweep must restore the pre-state for the next command.
+        let mut p = Program::new();
+        let x = p.var("x", 5);
+        let y = p.var("y", 5);
+        p.command(
+            "chain",
+            move |s| s.get(x) < 4,
+            move |s| {
+                s.set(x, s.get(x) + 1);
+                s.set(y, s.get(x)); // reads the just-written x
+            },
+        );
+        p.command(
+            "observe",
+            move |s| s.get(x) == 0, // must still see the pre-state
+            move |s| s.set(y, 4),
+        );
+        let compiled = p.compile(|s| s.get(x) == 0 && s.get(y) == 0).unwrap();
+        // From (x=0, y=0): chain -> (1, 1) = 1 + 5*1 = 6; observe -> (0, 4) = 20.
+        assert!(compiled.system().has_edge(0, 6));
+        assert!(compiled.system().has_edge(0, 20));
+    }
+
+    #[test]
+    fn packed_round_trip_at_domain_boundaries() {
+        // Layouts with unit, even, odd, and large domains: loading any
+        // word and re-reading every field must reproduce the mixed-radix
+        // digits, and set() must land exactly on the stride arithmetic.
+        for domains in [
+            vec![1usize, 2, 3],
+            vec![7, 1, 4, 3],
+            vec![2; 10],
+            vec![1000, 3, 1000],
+        ] {
+            let mut p = Program::new();
+            let vars: Vec<VarRef> = domains
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| p.var(format!("v{i}"), d))
+                .collect();
+            p.max_states(usize::MAX);
+            let layout = p.layout().unwrap();
+            let total = layout.total;
+            let mut view = State::new(&layout);
+            for word in [0, 1, total / 2, total.saturating_sub(2), total - 1] {
+                let word = word.min(total - 1);
+                view.load(word);
+                assert_eq!(view.word, word);
+                let mut expect = word;
+                for (&var, &d) in vars.iter().zip(&domains) {
+                    assert_eq!(view.get(var), (expect % d as u64) as usize);
+                    expect /= d as u64;
+                }
+                // Drive every field to its boundary values and back.
+                for (&var, &d) in vars.iter().zip(&domains) {
+                    let old = view.get(var);
+                    view.set(var, d - 1);
+                    assert_eq!(view.get(var), d - 1);
+                    view.set(var, 0);
+                    assert_eq!(view.get(var), 0);
+                    view.set(var, old);
+                }
+                assert_eq!(view.word, word, "round trip failed for {domains:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odometer_matches_load_everywhere() {
+        let mut p = Program::new();
+        let vars = [p.var("a", 3), p.var("b", 1), p.var("c", 4)];
+        let layout = p.layout().unwrap();
+        let mut odo = State::new(&layout);
+        let mut fresh = State::new(&layout);
+        for word in 0..layout.total {
+            fresh.load(word);
+            assert_eq!(odo.word, word);
+            for var in vars {
+                assert_eq!(odo.get(var), fresh.get(var));
+            }
+            odo.advance();
+        }
+    }
+
+    #[test]
+    fn reachable_compile_matches_full_compile_restricted() {
+        // A counter ring with an unreachable upper region.
+        let mut p = Program::new();
+        let x = p.var("x", 6);
+        p.command(
+            "cycle",
+            move |s| s.get(x) < 3,
+            move |s| s.set(x, (s.get(x) + 1) % 3),
+        );
+        let reachable = p.compile_reachable(|s| s.get(x) == 0).unwrap();
+        assert_eq!(reachable.system().num_states(), 3);
+        assert_eq!(reachable.system().init().len(), 1);
+        // Dense ids are discovery-ordered: 0 -> 1 -> 2 -> 0.
+        assert!(reachable.system().has_edge(0, 1));
+        assert!(reachable.system().has_edge(2, 0));
+        assert_eq!(reachable.decode(2), vec![2]);
+        assert_eq!(reachable.word(1), 1);
+        assert_eq!(reachable.var_names(), vec!["x"]);
+        // States 3..6 exist in the full compile but not here.
+        let full = p.compile(|s| s.get(x) == 0).unwrap();
+        assert_eq!(full.system().num_states(), 6);
+    }
+
+    #[test]
+    fn reachable_compile_requires_an_initial_state() {
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.command("noop", |_| false, |_| {});
+        assert_eq!(
+            p.compile_reachable(move |s| s.get(x) > 5).unwrap_err(),
+            GclError::NoInitialState
+        );
+    }
+
+    #[test]
+    fn fair_self_check_agrees_with_materialized_check_on_a_ring() {
+        use crate::synthesis::stutter_closure;
+        // One convergent instance and one divergent instance.
+        for divergent in [false, true] {
+            let mut p = Program::new();
+            let x = p.var("x", 4);
+            p.command(
+                "down",
+                move |s| s.get(x) > 1,
+                move |s| s.set(x, s.get(x) - 1),
+            );
+            p.command(
+                "swap",
+                move |s| s.get(x) <= 1,
+                move |s| s.set(x, 1 - s.get(x)),
+            );
+            if divergent {
+                // A cycle pinned outside the legitimate set.
+                p.command("relapse", move |s| s.get(x) == 2, move |s| s.set(x, 3));
+                p.command("fall", move |s| s.get(x) == 3, move |s| s.set(x, 2));
+            }
+            let init = move |s: &State<'_>| s.get(x) == 0;
+            let report = p.fair_self_check(init).unwrap();
+            let (fair, compiled) = p.compile_fair(init).unwrap();
+            let materialized = fair.is_stabilizing_to(&stutter_closure(compiled.system()));
+            assert_eq!(report.holds(), materialized.holds());
+            assert_eq!(report.holds(), !divergent);
+            assert_eq!(report.num_states, 4);
+            assert_eq!(
+                report.legitimate,
+                *stutter_closure(compiled.system()).reachable_from_init()
+            );
+            assert_eq!(report.num_legitimate(), 2);
+        }
+    }
+
+    #[test]
+    fn fair_self_check_rejects_empty_command_lists() {
+        let mut p = Program::new();
+        p.var("x", 2);
+        assert!(matches!(
+            p.fair_self_check(|_| true).unwrap_err(),
+            GclError::System(SystemError::EmptyStateSpace)
+        ));
     }
 }

@@ -26,13 +26,23 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// The worker count an unconstrained [`sweep_seeds`] call would use:
+/// `available_parallelism()`, floored at 1. Public so harnesses can
+/// record how many threads actually ran (`threads_used` in
+/// `BENCH_core.json`) — on a 1-core container [`sweep_seeds`] falls back
+/// to a fully inline sweep (no threads spawned), and a parallel
+/// "speedup" of ≈1× there is the expected serial fallback, not a
+/// regression.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Upper bound on worker threads; sweeps are CPU-bound, so there is no
 /// point oversubscribing far beyond the core count.
 fn worker_count(jobs: u64) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    cores.min(jobs as usize).max(1)
+    available_workers().min(jobs as usize).max(1)
 }
 
 /// Runs `f(seed)` for every seed in `seeds` across all cores and returns
@@ -140,6 +150,11 @@ mod tests {
         let seq = sweep_seeds_on(0..257u64, 1, |s| s.wrapping_mul(0x9E3779B9));
         let par = sweep_seeds_on(0..257u64, 4, |s| s.wrapping_mul(0x9E3779B9));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn available_workers_is_at_least_one() {
+        assert!(available_workers() >= 1);
     }
 
     #[test]

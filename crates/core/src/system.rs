@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::bitset::StateSet;
 
@@ -54,14 +55,17 @@ impl std::error::Error for SystemError {}
 ///
 /// The transition relation is stored in compressed-sparse-row (CSR) form:
 /// a flat, per-source-sorted successor array plus `num_states + 1` row
-/// offsets, and the mirrored reverse CSR for predecessor queries. State
-/// sets (initial states, reachability closures) are dense [`StateSet`]
-/// bitsets. Two closures every relation check needs are computed once at
-/// build time, in `O(V + E)` total: the init-reachable set and the
-/// strongly-connected-component id of every state (iterative Tarjan, so
-/// SCC ids come out in reverse topological order). Both are pure functions
-/// of `(init, edges)`, which keeps `build` deterministic and equality
-/// well-defined.
+/// offsets, plus a lazily mirrored reverse CSR for predecessor queries.
+/// State sets (initial states, reachability closures) are dense
+/// [`StateSet`] bitsets. Two closures every relation check needs — the init-reachable
+/// set and the strongly-connected-component id of every state (iterative
+/// Tarjan, so SCC ids come out in reverse topological order) — are
+/// computed lazily on first use and cached, in `O(V + E)` total. Both are
+/// pure functions of `(init, edges)`, so laziness never changes a query
+/// result, equality stays well-defined (caches are excluded from `==`),
+/// and systems that are only ever *composed* — e.g. the per-command
+/// components of a fair compilation — never pay for caches they do not
+/// read.
 ///
 /// # Example
 ///
@@ -86,15 +90,15 @@ pub struct FiniteSystem {
     fwd_off: Vec<usize>,
     /// Flat successor array, sorted and deduplicated per row.
     fwd_to: Vec<usize>,
-    /// Reverse-CSR row offsets into `rev_from`; length `num_states + 1`.
-    rev_off: Vec<usize>,
-    /// Flat predecessor array, sorted per row.
-    rev_from: Vec<usize>,
-    /// Cached closure of `init` under the transition relation.
-    init_reachable: StateSet,
-    /// Cached SCC id per state (Tarjan pop order: reverse topological).
-    scc_id: Vec<usize>,
-    scc_count: usize,
+    /// Lazily built reverse CSR `(rev_off, rev_from)`: offsets of length
+    /// `num_states + 1` into the flat, per-target-sorted predecessor
+    /// array. Only predecessor queries pay for it.
+    rev: OnceLock<(Vec<usize>, Vec<usize>)>,
+    /// Lazily cached closure of `init` under the transition relation.
+    init_reachable: OnceLock<StateSet>,
+    /// Lazily cached `(scc_id per state, scc_count)`; ids in Tarjan pop
+    /// order, i.e. reverse topological.
+    sccs: OnceLock<(Vec<usize>, usize)>,
 }
 
 impl PartialEq for FiniteSystem {
@@ -141,36 +145,55 @@ impl FiniteSystem {
         }
         let fwd_to: Vec<usize> = edges.iter().map(|&(_, to)| to).collect();
 
-        // Reverse CSR by counting sort on the target column; scanning the
-        // sorted forward edges keeps each reverse row sorted by source.
-        let mut rev_off = vec![0usize; num_states + 1];
-        for &(_, to) in edges {
-            rev_off[to + 1] += 1;
-        }
-        for i in 0..num_states {
-            rev_off[i + 1] += rev_off[i];
-        }
-        let mut cursor = rev_off.clone();
-        let mut rev_from = vec![0usize; edges.len()];
-        for &(from, to) in edges {
-            rev_from[cursor[to]] = from;
-            cursor[to] += 1;
-        }
-
-        let mut sys = FiniteSystem {
+        FiniteSystem {
             num_states,
             init,
             fwd_off,
             fwd_to,
-            rev_off,
-            rev_from,
-            init_reachable: StateSet::new(),
-            scc_id: Vec::new(),
-            scc_count: 0,
-        };
-        sys.init_reachable = sys.reachable_from(sys.init.iter());
-        (sys.scc_id, sys.scc_count) = sys.compute_sccs();
-        sys
+            rev: OnceLock::new(),
+            init_reachable: OnceLock::new(),
+            sccs: OnceLock::new(),
+        }
+    }
+
+    /// Constructs a system directly from forward CSR rows. Rows must be
+    /// sorted, deduplicated, in-range, and total — the streaming GCL
+    /// compiler stages each row that way, and debug builds assert it;
+    /// unlike
+    /// [`builder`](Self::builder), no intermediate `(from, to)` pair list
+    /// is ever materialized.
+    pub(crate) fn from_csr(
+        num_states: usize,
+        init: StateSet,
+        fwd_off: Vec<usize>,
+        fwd_to: Vec<usize>,
+    ) -> Result<Self, SystemError> {
+        if num_states == 0 {
+            return Err(SystemError::EmptyStateSpace);
+        }
+        // The streaming compiler guarantees well-formed rows (stutter
+        // self-loops keep the relation total; `finish_effect` bounds every
+        // target), so the per-row checks are debug-only — release builds
+        // pay nothing for them.
+        debug_assert_eq!(fwd_off.len(), num_states + 1);
+        debug_assert_eq!(*fwd_off.last().unwrap(), fwd_to.len());
+        #[cfg(debug_assertions)]
+        for state in 0..num_states {
+            let row = &fwd_to[fwd_off[state]..fwd_off[state + 1]];
+            debug_assert!(!row.is_empty(), "state {state} has no successor");
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be sorted");
+        }
+        debug_assert!(fwd_to.iter().all(|&to| to < num_states), "target in range");
+
+        Ok(FiniteSystem {
+            num_states,
+            init,
+            fwd_off,
+            fwd_to,
+            rev: OnceLock::new(),
+            init_reachable: OnceLock::new(),
+            sccs: OnceLock::new(),
+        })
     }
 
     /// Number of states in the state space Σ.
@@ -214,9 +237,34 @@ impl FiniteSystem {
         self.predecessors_slice(state).iter().copied()
     }
 
-    /// Predecessors of `state` as a sorted slice (reverse CSR).
+    /// Predecessors of `state` as a sorted slice (reverse CSR, built on
+    /// first predecessor query).
     pub fn predecessors_slice(&self, state: usize) -> &[usize] {
-        &self.rev_from[self.rev_off[state]..self.rev_off[state + 1]]
+        let (rev_off, rev_from) = self.reverse_csr();
+        &rev_from[rev_off[state]..rev_off[state + 1]]
+    }
+
+    /// Reverse CSR by counting sort on the target column; scanning the
+    /// forward rows in source order keeps each reverse row sorted.
+    fn reverse_csr(&self) -> &(Vec<usize>, Vec<usize>) {
+        self.rev.get_or_init(|| {
+            let mut rev_off = vec![0usize; self.num_states + 1];
+            for &to in &self.fwd_to {
+                rev_off[to + 1] += 1;
+            }
+            for i in 0..self.num_states {
+                rev_off[i + 1] += rev_off[i];
+            }
+            let mut cursor = rev_off.clone();
+            let mut rev_from = vec![0usize; self.fwd_to.len()];
+            for from in 0..self.num_states {
+                for &to in &self.fwd_to[self.fwd_off[from]..self.fwd_off[from + 1]] {
+                    rev_from[cursor[to]] = from;
+                    cursor[to] += 1;
+                }
+            }
+            (rev_off, rev_from)
+        })
     }
 
     /// States reachable from the given seed set by following transitions
@@ -240,31 +288,33 @@ impl FiniteSystem {
     }
 
     /// States on computations that start from an initial state. Computed
-    /// once at build time; this is a cache read.
+    /// on first use and cached; subsequent calls are a cache read.
     pub fn reachable_from_init(&self) -> &StateSet {
-        &self.init_reachable
+        self.init_reachable
+            .get_or_init(|| self.reachable_from(self.init.iter()))
     }
 
     /// The strongly-connected-component id of every state, indexed by
     /// state. Ids are assigned in Tarjan completion order, so they are in
-    /// reverse topological order of the condensation. Computed once at
-    /// build time.
+    /// reverse topological order of the condensation. Computed on first
+    /// use and cached.
     ///
     /// An edge `(u, v)` of the system lies on a cycle exactly when
     /// `scc_ids()[u] == scc_ids()[v]` — the `O(1)` test behind
     /// [`is_stabilizing_to`](crate::is_stabilizing_to).
     pub fn scc_ids(&self) -> &[usize] {
-        &self.scc_id
+        &self.sccs.get_or_init(|| self.compute_sccs()).0
     }
 
     /// Number of strongly connected components.
     pub fn scc_count(&self) -> usize {
-        self.scc_count
+        self.sccs.get_or_init(|| self.compute_sccs()).1
     }
 
     /// True when there is a path (of length ≥ 1) from `from` to `to`.
     pub fn has_path(&self, from: usize, to: usize) -> bool {
-        if from != to && self.scc_id[from] == self.scc_id[to] {
+        let scc_id = self.scc_ids();
+        if from != to && scc_id[from] == scc_id[to] {
             return true; // both on a common cycle
         }
         if from == to {
@@ -273,11 +323,11 @@ impl FiniteSystem {
             if self.has_edge(from, from) {
                 return true;
             }
-            let id = self.scc_id[from];
+            let id = scc_id[from];
             if self
                 .successors_slice(from)
                 .iter()
-                .any(|&next| next != from && self.scc_id[next] == id)
+                .any(|&next| next != from && scc_id[next] == id)
             {
                 return true;
             }
