@@ -1,0 +1,255 @@
+//! `graybox-lint` — static certification of GCL models and validation of
+//! raw CSR transition systems.
+//!
+//! ```text
+//! graybox-lint tme [--n N] [--no-wrapper] [--json PATH|-]
+//! graybox-lint csr FILE [--json PATH|-]
+//! ```
+//!
+//! `tme` runs the five static passes (footprint, locality,
+//! wrapper-footprint, interference, abstract interpretation) on the
+//! n-process TME abstraction, entirely without enumerating states.
+//! `csr` parses a textual CSR transition system and validates it through
+//! the checked `FiniteSystem::try_from_csr` constructor.
+//!
+//! Exit status: 0 when no error-severity findings, 1 when there are
+//! errors, 2 on usage or I/O problems.
+//!
+//! The CSR file format is line-based; `#` starts a comment:
+//!
+//! ```text
+//! states 4
+//! init 0
+//! 0: 1 2
+//! 1: 0
+//! 2: 3
+//! 3: 3
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use graybox_analyze::report::{Finding, Report, Severity};
+use graybox_analyze::tme::lint_tme;
+use graybox_core::{FiniteSystem, StateSet};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graybox-lint tme [--n N] [--no-wrapper] [--json PATH|-]\n\
+         \x20      graybox-lint csr FILE [--json PATH|-]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        return usage();
+    };
+    match mode.as_str() {
+        "tme" => run_tme(&args[1..]),
+        "csr" => run_csr(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Parses a trailing `--json PATH|-` option; returns (rest, json_dest).
+fn take_json(args: &[String]) -> Result<(Vec<String>, Option<String>), ()> {
+    let mut rest = Vec::new();
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => json = Some(path.clone()),
+                None => return Err(()),
+            }
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, json))
+}
+
+fn finish(report: &Report, json: Option<&str>) -> ExitCode {
+    match json {
+        Some("-") => print!("{}", report.to_json()),
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, report.to_json()) {
+                eprintln!("graybox-lint: cannot write {path}: {err}");
+                return ExitCode::from(2);
+            }
+            println!("{report}");
+        }
+        None => println!("{report}"),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_tme(args: &[String]) -> ExitCode {
+    let Ok((rest, json)) = take_json(args) else {
+        return usage();
+    };
+    let mut n = 3usize;
+    let mut with_wrapper = true;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (2..=4).contains(&v) => n = v,
+                _ => {
+                    eprintln!("graybox-lint: --n takes an integer in 2..=4");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-wrapper" => with_wrapper = false,
+            _ => return usage(),
+        }
+    }
+    let report = lint_tme(n, with_wrapper);
+    finish(&report, json.as_deref())
+}
+
+fn run_csr(args: &[String]) -> ExitCode {
+    let Ok((rest, json)) = take_json(args) else {
+        return usage();
+    };
+    let [path] = rest.as_slice() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("graybox-lint: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = lint_csr_text(path, &text);
+    finish(&report, json.as_deref())
+}
+
+/// Parses the textual CSR format and validates it via
+/// `FiniteSystem::try_from_csr`. Parsing is deliberately lax about
+/// structure (missing rows become empty rows) so that the checked
+/// constructor — not the parser — is what rejects malformed systems.
+fn lint_csr_text(path: &str, text: &str) -> Report {
+    let mut report = Report {
+        target: format!("csr:{path}"),
+        ..Report::default()
+    };
+    let error = |message: String| Finding {
+        pass: "csr-input",
+        severity: Severity::Error,
+        command: None,
+        vars: Vec::new(),
+        message,
+    };
+
+    let mut num_states: Option<usize> = None;
+    let mut init = StateSet::new();
+    let mut rows: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parse_all = |items: &[&str]| -> Option<Vec<usize>> {
+            items.iter().map(|t| t.parse().ok()).collect()
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let parsed = match tokens.as_slice() {
+            ["states", n] => n.parse().ok().map(|n| num_states = Some(n)),
+            ["init", states @ ..] => parse_all(states).map(|states| {
+                for s in states {
+                    init.insert(s);
+                }
+            }),
+            [row, targets @ ..] if row.ends_with(':') => row[..row.len() - 1]
+                .parse()
+                .ok()
+                .zip(parse_all(targets))
+                .map(|(state, targets)| {
+                    rows.entry(state).or_default().extend(targets);
+                }),
+            _ => None,
+        };
+        if parsed.is_none() {
+            report
+                .findings
+                .push(error(format!("line {}: unparseable: {line:?}", lineno + 1)));
+            return report;
+        }
+    }
+
+    let Some(num_states) = num_states else {
+        report
+            .findings
+            .push(error("missing \"states N\" header".to_string()));
+        return report;
+    };
+    let mut fwd_off = Vec::with_capacity(num_states + 1);
+    let mut fwd_to = Vec::new();
+    fwd_off.push(0);
+    for state in 0..num_states {
+        if let Some(targets) = rows.get(&state) {
+            fwd_to.extend_from_slice(targets);
+        }
+        fwd_off.push(fwd_to.len());
+    }
+    for (&state, _) in rows.range(num_states..) {
+        report
+            .findings
+            .push(error(format!("row {state} is outside 0..{num_states}")));
+    }
+    if !report.findings.is_empty() {
+        return report;
+    }
+
+    match FiniteSystem::try_from_csr(num_states, init, fwd_off, fwd_to) {
+        Ok(system) => {
+            report.certified.push(format!(
+                "csr-input: well-formed total transition system \
+                 ({} states, {} edges)",
+                system.num_states(),
+                system.edges().into_iter().count()
+            ));
+        }
+        Err(err) => {
+            report.findings.push(error(format!("{err}")));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint_csr_text;
+
+    #[test]
+    fn well_formed_csr_is_certified() {
+        let report = lint_csr_text(
+            "good",
+            "# a 4-state loop\nstates 4\ninit 0\n0: 1\n1: 2\n2: 3\n3: 3\n",
+        );
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.certified.len(), 1);
+    }
+
+    #[test]
+    fn non_total_csr_is_rejected_by_try_from_csr() {
+        let report = lint_csr_text("bad", "states 3\ninit 0\n0: 1\n1: 0\n");
+        assert!(!report.is_clean());
+        assert!(report.findings[0].message.contains("no outgoing"));
+    }
+
+    #[test]
+    fn garbage_line_is_reported() {
+        let report = lint_csr_text("bad", "states 2\nwat\n");
+        assert!(!report.is_clean());
+        assert!(report.findings[0].message.contains("unparseable"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Pass 1: per-command read/write footprint inference.
+//!
+//! A footprint is a *may*-approximation read straight off the syntax
+//! tree: guard reads and both branches of every `if` count as reads,
+//! every assignment target counts as a write. No state is enumerated.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use graybox_core::gcl::ir::IrCommand;
+use graybox_core::gcl::Program;
+
+/// The variables a command may read and may write, as declaration-order
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// Variables read by the guard or any body expression/condition.
+    pub reads: BTreeSet<usize>,
+    /// Variables assigned anywhere in the body.
+    pub writes: BTreeSet<usize>,
+}
+
+impl Footprint {
+    /// Everything the command touches (reads ∪ writes).
+    pub fn touches(&self) -> BTreeSet<usize> {
+        self.reads.union(&self.writes).copied().collect()
+    }
+}
+
+/// A command added through the closure API, which analysis cannot see
+/// into. Programs fed to the static passes must be all-IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpaqueCommand {
+    /// Declaration-order index of the opaque command.
+    pub index: usize,
+    /// Its name.
+    pub name: String,
+}
+
+impl fmt::Display for OpaqueCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "command {} ({:?}) was added through the closure API and is opaque to static analysis",
+            self.index, self.name
+        )
+    }
+}
+
+impl std::error::Error for OpaqueCommand {}
+
+/// Infers the may-footprint of one IR command.
+pub fn command_footprint(command: &IrCommand) -> Footprint {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    command.guard.visit_reads(&mut |v| {
+        reads.insert(v.index());
+    });
+    for stmt in &command.body {
+        stmt.visit_footprint(
+            &mut |v| {
+                reads.insert(v.index());
+            },
+            &mut |v| {
+                writes.insert(v.index());
+            },
+        );
+    }
+    Footprint { reads, writes }
+}
+
+/// Infers the footprints of every command of `program`, in declaration
+/// order.
+///
+/// # Errors
+///
+/// [`OpaqueCommand`] if any command was added through the closure API.
+pub fn program_footprints(program: &Program) -> Result<Vec<Footprint>, OpaqueCommand> {
+    (0..program.num_commands())
+        .map(|index| {
+            program
+                .ir_command(index)
+                .map(command_footprint)
+                .ok_or_else(|| OpaqueCommand {
+                    index,
+                    name: program.command_name(index).to_string(),
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox_core::gcl::ir::{Expr, IrCommand, Stmt};
+
+    #[test]
+    fn footprint_covers_guard_body_and_both_branches() {
+        let mut p = Program::new();
+        let a = p.var("a", 4);
+        let b = p.var("b", 4);
+        let c = p.var("c", 4);
+        let d = p.var("d", 4);
+        let cmd = IrCommand::new(
+            "probe",
+            Expr::var(a).eq(Expr::int(1)),
+            vec![Stmt::if_else(
+                Expr::var(b).lt(Expr::int(2)),
+                vec![Stmt::assign(c, Expr::var(d))],
+                vec![Stmt::assign(d, Expr::int(0))],
+            )],
+        );
+        p.command_ir(cmd.clone());
+        let fp = command_footprint(&cmd);
+        assert_eq!(
+            fp.reads,
+            [a.index(), b.index(), d.index()].into_iter().collect()
+        );
+        assert_eq!(fp.writes, [c.index(), d.index()].into_iter().collect());
+        assert_eq!(program_footprints(&p).unwrap(), vec![fp]);
+    }
+
+    #[test]
+    fn closure_commands_are_reported_opaque() {
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.command("flip", move |s| s.get(x) == 0, move |s| s.set(x, 1));
+        let err = program_footprints(&p).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.name, "flip");
+    }
+}

@@ -1,0 +1,54 @@
+//! Static analysis over the GCL expression IR.
+//!
+//! The `graybox-core` packed compiler executes commands; this crate reads
+//! them. Every pass consumes the [`graybox_core::gcl::ir`] syntax trees
+//! attached to a [`Program`](graybox_core::gcl::Program) via
+//! `Program::command_ir`, so analysis never enumerates states — linting
+//! the 7.5M-state 3-process TME abstraction takes microseconds.
+//!
+//! Five passes:
+//!
+//! 1. [`footprint`] — per-command may-read/may-write variable sets,
+//!    inferred from the syntax tree.
+//! 2. [`locality`] — checks every command against a variable-to-process
+//!    [`Partition`](locality::Partition). A program that passes is a
+//!    conjunction of per-process components, which is the syntactic side
+//!    of the paper's "local everywhere specification" decomposition
+//!    (Lemmas 2–3): each process's commands touch only variables its
+//!    process may see, so `A = ⊓ᵢ Aᵢ` splits along the partition.
+//! 3. [`wrapper`] — graybox-admissibility lint (§2 of the paper): a
+//!    wrapper observes and corrects the *specification* state only, so
+//!    wrapper commands must read and write spec-visible variables
+//!    exclusively — never ground-truth ghosts such as the TME request
+//!    order.
+//! 4. [`interference`] — write/write and read/write conflicts between
+//!    wrapper and program commands, the static counterpart of the §2.2
+//!    two-level optimistic design question "where may the wrapper race
+//!    the program it corrects?".
+//! 5. [`absint`] — abstract interpretation over mixed-radix interval
+//!    domains: dead commands (unsatisfiable guards), stutter-only
+//!    effects, out-of-domain writes, table overruns, zero moduli.
+//!
+//! [`report`] aggregates findings into a machine-readable [`Report`]
+//! (hand-rolled JSON; the workspace is dependency-free), and [`tme`]
+//! wires the passes to the n-process TME abstraction shipped by
+//! `graybox-core`. The `graybox-lint` binary fronts all of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absint;
+pub mod footprint;
+pub mod interference;
+pub mod locality;
+pub mod report;
+pub mod tme;
+pub mod wrapper;
+
+pub use absint::{diagnose_command, diagnose_program, CommandDiagnosis, Interval};
+pub use footprint::{command_footprint, program_footprints, Footprint, OpaqueCommand};
+pub use interference::{check_interference, Conflict, ConflictKind};
+pub use locality::{check_locality, Access, LocalityViolation, Partition, VarClass};
+pub use report::{Finding, Report, Severity};
+pub use tme::{lint_tme, run_all_passes, ModelShape};
+pub use wrapper::{check_wrapper_footprint, WrapperViolation};

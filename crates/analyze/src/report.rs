@@ -1,0 +1,206 @@
+//! Findings, severities, and the machine-readable report.
+//!
+//! JSON is emitted by hand — the workspace builds with no registry
+//! access, so there is no serde. The schema is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "tool": "graybox-lint",
+//!   "target": "tme-n3-wrapped",
+//!   "errors": 0,
+//!   "warnings": 12,
+//!   "certified": ["..."],
+//!   "findings": [
+//!     {"pass": "locality", "severity": "error",
+//!      "command": "wrapper0_1", "vars": ["ord"], "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use std::fmt;
+
+/// How bad a finding is. Errors gate CI; warnings inform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational/expected (e.g. wrapper/program interference).
+    Warning,
+    /// A must-fix defect (locality or wrapper-footprint violation, dead
+    /// command, definite out-of-domain write, malformed input).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label, as emitted in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding of one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced it (`"footprint"`, `"locality"`, …).
+    pub pass: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The offending command's name, when the finding is about one.
+    pub command: Option<String>,
+    /// The variables involved, by name.
+    pub vars: Vec<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The aggregate result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// What was linted (e.g. `"tme-n3-wrapped"`).
+    pub target: String,
+    /// Positive certifications — facts the passes established, one line
+    /// each (e.g. "locality: all 33 commands local").
+    pub certified: Vec<String>,
+    /// All findings, in pass order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn num_errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn num_warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// No errors (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.num_errors() == 0
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"graybox-lint\",\n");
+        out.push_str(&format!("  \"target\": {},\n", json_string(&self.target)));
+        out.push_str(&format!("  \"errors\": {},\n", self.num_errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.num_warnings()));
+        out.push_str("  \"certified\": [");
+        for (i, line) in self.certified.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(line));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"pass\": {}, \"severity\": {}, \"command\": {}, \"vars\": [{}], \"message\": {}}}",
+                json_string(f.pass),
+                json_string(f.severity.label()),
+                f.command
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), json_string),
+                f.vars
+                    .iter()
+                    .map(|v| json_string(v))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                json_string(&f.message),
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graybox-lint: {}", self.target)?;
+        for line in &self.certified {
+            writeln!(f, "  ✓ {line}")?;
+        }
+        for finding in &self.findings {
+            let command = finding
+                .command
+                .as_deref()
+                .map(|c| format!(" [{c}]"))
+                .unwrap_or_default();
+            writeln!(
+                f,
+                "  {}: {}{}: {}",
+                finding.severity.label(),
+                finding.pass,
+                command,
+                finding.message
+            )?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.num_errors(),
+            self.num_warnings()
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let report = Report {
+            target: "fixture".to_string(),
+            certified: vec!["locality: clean".to_string()],
+            findings: vec![Finding {
+                pass: "absint",
+                severity: Severity::Error,
+                command: Some("dead\"cmd".to_string()),
+                vars: vec!["x".to_string()],
+                message: "guard is unsatisfiable".to_string(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 0"));
+        assert!(json.contains("\\\"cmd"));
+        assert!(json.contains("\"vars\": [\"x\"]"));
+        assert!(!report.is_clean());
+        assert_eq!(report.num_errors(), 1);
+    }
+}

@@ -11,7 +11,7 @@ use graybox_tme::{Implementation, TmeProcess, Workload, WorkloadConfig};
 use std::hint::black_box;
 
 fn build_sim(implementation: Implementation, n: usize, seed: u64) -> Simulation<TmeProcess> {
-    let procs = (0..n as u32)
+    let procs = (0..u32::try_from(n).unwrap())
         .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
         .collect();
     let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));

@@ -25,8 +25,13 @@ impl ProcessId {
     }
 
     /// Enumerates the identities `p0 .. p(n-1)` of an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` processes.
     pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
-        (0..n as u32).map(ProcessId)
+        let n = u32::try_from(n).expect("process count exceeds u32");
+        (0..n).map(ProcessId)
     }
 }
 

@@ -61,6 +61,7 @@
 //! # Ok::<(), graybox_core::gcl::GclError>(())
 //! ```
 
+pub mod ir;
 pub mod reference;
 
 use std::collections::HashMap;
@@ -241,7 +242,7 @@ impl<'a> State<'a> {
 
     /// The current value of `var`.
     pub fn get(&self, var: VarRef) -> usize {
-        self.values[var.0] as usize
+        narrow(self.values[var.0])
     }
 
     /// Assigns `value` to `var`. Values outside the domain poison the
@@ -269,16 +270,54 @@ impl<'a> State<'a> {
 type Guard = Box<dyn for<'a, 'b> Fn(&'a State<'b>) -> bool>;
 type Effect = Box<dyn for<'a, 'b> Fn(&'a mut State<'b>)>;
 
+/// How a command's guard and effect are represented: opaque closures
+/// (the original API) or the first-class expression IR of [`ir`], which
+/// the static passes of the `graybox-analyze` crate can inspect. Both
+/// evaluate against the same packed [`State`] view, through the same
+/// compile sweeps.
+enum Behavior {
+    Closure { guard: Guard, effect: Effect },
+    Ir(ir::IrCommand),
+}
+
 struct Command {
     name: String,
-    guard: Guard,
-    effect: Effect,
+    behavior: Behavior,
+}
+
+impl Command {
+    #[inline]
+    fn enabled(&self, s: &State<'_>) -> bool {
+        match &self.behavior {
+            Behavior::Closure { guard, .. } => guard(s),
+            Behavior::Ir(cmd) => cmd.guard_holds(s),
+        }
+    }
+
+    #[inline]
+    fn apply(&self, s: &mut State<'_>) {
+        match &self.behavior {
+            Behavior::Closure { effect, .. } => effect(s),
+            Behavior::Ir(cmd) => cmd.apply(s),
+        }
+    }
 }
 
 impl fmt::Debug for Command {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Command").field("name", &self.name).finish()
     }
+}
+
+/// Narrows a packed word, field, or state count to `usize`.
+///
+/// Sound by construction: the layout checks the domain product against
+/// the `max_states` cap (a `usize`), so every packed word, digit, and
+/// state id fits `usize` on every target.
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn narrow(word: u64) -> usize {
+    word as usize
 }
 
 /// A guarded-command program over finite-domain variables.
@@ -314,9 +353,67 @@ impl Program {
     ) {
         self.commands.push(Command {
             name: name.into(),
-            guard: Box::new(guard),
-            effect: Box::new(effect),
+            behavior: Behavior::Closure {
+                guard: Box::new(guard),
+                effect: Box::new(effect),
+            },
         });
+    }
+
+    /// Adds a guarded command in IR form ([`ir::IrCommand`]). IR commands
+    /// compile through the identical sweeps as closure commands, and are
+    /// additionally visible to the static passes of the
+    /// `graybox-analyze` crate via [`ir_command`](Self::ir_command).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command mentions a variable index that has not been
+    /// declared on this program — IR is data, so this is validated at
+    /// insertion rather than deferred to an opaque panic mid-sweep.
+    pub fn command_ir(&mut self, command: ir::IrCommand) {
+        if let Some(max) = command.max_var_index() {
+            assert!(
+                max < self.vars.len(),
+                "command {:?} mentions undeclared variable index {max} \
+                 (only {} variables are declared)",
+                command.name,
+                self.vars.len()
+            );
+        }
+        self.commands.push(Command {
+            name: command.name.clone(),
+            behavior: Behavior::Ir(command),
+        });
+    }
+
+    /// The declared variables, in declaration order, as `(name, domain)`
+    /// pairs. [`VarRef`] indices index this slice.
+    pub fn variables(&self) -> impl ExactSizeIterator<Item = (&str, usize)> + '_ {
+        self.vars
+            .iter()
+            .map(|(name, domain)| (name.as_str(), *domain))
+    }
+
+    /// The name of command `index` (declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn command_name(&self, index: usize) -> &str {
+        &self.commands[index].name
+    }
+
+    /// The IR of command `index`, or `None` when that command was added
+    /// through the closure API (closures are opaque to analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn ir_command(&self, index: usize) -> Option<&ir::IrCommand> {
+        match &self.commands[index].behavior {
+            Behavior::Closure { .. } => None,
+            Behavior::Ir(cmd) => Some(cmd),
+        }
     }
 
     /// Overrides the state-space cap (default [`DEFAULT_MAX_STATES`]).
@@ -338,7 +435,7 @@ impl Program {
     /// [`GclError::EmptyDomain`] or [`GclError::TooManyStates`] exactly as
     /// the compile entry points would report them.
     pub fn state_space(&self) -> Result<usize, GclError> {
-        Ok(self.layout()?.total as usize)
+        Ok(narrow(self.layout()?.total))
     }
 
     /// Builds the stride tables with checked arithmetic: the domain
@@ -381,17 +478,17 @@ impl Program {
     fn successor_row(&self, view: &mut State<'_>, row: &mut Vec<usize>) -> Result<(), usize> {
         row.clear();
         for (index, command) in self.commands.iter().enumerate() {
-            if (command.guard)(view) {
+            if command.enabled(view) {
                 view.begin_effect();
-                (command.effect)(view);
+                command.apply(view);
                 match view.finish_effect() {
-                    Ok(target) => row.push(target as usize),
+                    Ok(target) => row.push(narrow(target)),
                     Err(()) => return Err(index),
                 }
             }
         }
         if row.is_empty() {
-            row.push(view.word as usize);
+            row.push(narrow(view.word));
         }
         row.sort_unstable();
         row.dedup();
@@ -442,7 +539,7 @@ impl Program {
         init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
     ) -> Result<CompiledProgram, GclError> {
         let layout = self.layout()?;
-        let total = layout.total as usize;
+        let total = narrow(layout.total);
         let mut init_set = StateSet::with_capacity(total);
         let mut fwd_off = vec![0usize; total + 1];
         let mut fwd_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
@@ -484,7 +581,7 @@ impl Program {
         init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
     ) -> Result<(FairComposition, CompiledProgram), GclError> {
         let layout = self.layout()?;
-        let total = layout.total as usize;
+        let total = narrow(layout.total);
         let ncmd = self.commands.len();
 
         // The one sweep: plain CSR rows, the union CSR rows, and each
@@ -510,13 +607,13 @@ impl Program {
             row.clear();
             let mut enabled = 0usize;
             for (index, command) in self.commands.iter().enumerate() {
-                comp_to[index][state] = if (command.guard)(&view) {
+                comp_to[index][state] = if command.enabled(&view) {
                     view.begin_effect();
-                    (command.effect)(&mut view);
-                    let target = view
-                        .finish_effect()
-                        .map_err(|()| self.out_of_domain(index))?
-                        as usize;
+                    command.apply(&mut view);
+                    let target = narrow(
+                        view.finish_effect()
+                            .map_err(|()| self.out_of_domain(index))?,
+                    );
                     row.push(target);
                     enabled += 1;
                     target
@@ -600,7 +697,7 @@ impl Program {
         init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
     ) -> Result<ReachableProgram, GclError> {
         let layout = self.layout()?;
-        let total = layout.total as usize;
+        let total = narrow(layout.total);
         let mut ids: HashMap<u64, usize> = HashMap::new();
         let mut words: Vec<u64> = Vec::new();
         let mut view = State::new(&layout);
@@ -668,20 +765,28 @@ impl Program {
     ///
     /// See [`GclError`]; programs with no commands are rejected like
     /// [`FairComposition::new`] rejects empty compositions.
+    // Every `as u32` below is in range by the upfront guard: states and
+    // edge counts are bounded by `total * (ncmd + 1)`, which is checked
+    // against `u32::MAX` before the sweeps start.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn fair_self_check(
         &self,
         init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
     ) -> Result<FairSelfReport, GclError> {
         let layout = self.layout()?;
-        let total = layout.total as usize;
+        let total = narrow(layout.total);
         let ncmd = self.commands.len();
         if ncmd == 0 {
             return Err(GclError::System(SystemError::EmptyStateSpace));
         }
-        if u32::try_from(total).is_err() {
+        // The union CSR is staged in 32-bit arrays: both the state ids
+        // and the running edge count (each row has at most `ncmd + 1`
+        // entries after dedup) must fit `u32`.
+        let max_edges = (total as u64).saturating_mul(ncmd as u64 + 1);
+        if u32::try_from(total).is_err() || max_edges > u64::from(u32::MAX) {
             return Err(GclError::TooManyStates {
                 actual: total,
-                max: u32::MAX as usize,
+                max: narrow(u64::from(u32::MAX) / (ncmd as u64 + 1)),
             });
         }
 
@@ -700,9 +805,9 @@ impl Program {
             row.clear();
             let mut any_disabled = false;
             for (index, command) in self.commands.iter().enumerate() {
-                if (command.guard)(&view) {
+                if command.enabled(&view) {
                     view.begin_effect();
-                    (command.effect)(&mut view);
+                    command.apply(&mut view);
                     let target = view
                         .finish_effect()
                         .map_err(|()| self.out_of_domain(index))?;
@@ -759,9 +864,9 @@ impl Program {
         for state in 0..total {
             let id = scc_id[state] as usize;
             for (index, command) in self.commands.iter().enumerate() {
-                let inside = if (command.guard)(&view) {
+                let inside = if command.enabled(&view) {
                     view.begin_effect();
-                    (command.effect)(&mut view);
+                    command.apply(&mut view);
                     let target = view
                         .finish_effect()
                         .map_err(|()| self.out_of_domain(index))?;
@@ -812,6 +917,9 @@ impl Program {
 /// Iterative Tarjan over 32-bit CSR rows (no recursion, no per-state
 /// allocation); returns SCC ids in completion (reverse topological)
 /// order, matching [`FiniteSystem::scc_ids`].
+// State ids fit `u32`: the caller (`fair_self_check`) rejects state
+// spaces beyond `u32::MAX` before building the 32-bit CSR.
+#[allow(clippy::cast_possible_truncation)]
 fn tarjan_u32(num_states: usize, off: &[u32], to: &[u32]) -> (Vec<u32>, usize) {
     const UNSET: u32 = u32::MAX;
     let mut index = vec![UNSET; num_states];
@@ -955,7 +1063,7 @@ impl ReachableProgram {
     pub fn decode(&self, id: usize) -> Vec<usize> {
         let word = self.words[id];
         (0..self.var_info.len())
-            .map(|var| self.layout.field(word, var) as usize)
+            .map(|var| narrow(self.layout.field(word, var)))
             .collect()
     }
 
@@ -1172,7 +1280,7 @@ mod tests {
                 assert_eq!(view.word, word);
                 let mut expect = word;
                 for (&var, &d) in vars.iter().zip(&domains) {
-                    assert_eq!(view.get(var), (expect % d as u64) as usize);
+                    assert_eq!(view.get(var) as u64, expect % d as u64);
                     expect /= d as u64;
                 }
                 // Drive every field to its boundary values and back.

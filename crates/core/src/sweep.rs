@@ -42,7 +42,8 @@ pub fn available_workers() -> usize {
 /// Upper bound on worker threads; sweeps are CPU-bound, so there is no
 /// point oversubscribing far beyond the core count.
 fn worker_count(jobs: u64) -> usize {
-    available_workers().min(jobs as usize).max(1)
+    let jobs = usize::try_from(jobs).unwrap_or(usize::MAX);
+    available_workers().min(jobs).max(1)
 }
 
 /// Runs `f(seed)` for every seed in `seeds` across all cores and returns
@@ -75,7 +76,10 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let workers = workers.clamp(1, len as usize);
+    // The result vector must hold one entry per seed, so a range beyond
+    // the address space cannot be swept anyway.
+    let len_states = usize::try_from(len).expect("seed range exceeds the address space");
+    let workers = workers.clamp(1, len_states);
     if workers == 1 {
         return seeds.map(f).collect();
     }
@@ -86,7 +90,7 @@ where
     // worker, not per seed.
     let cursor = AtomicU64::new(0);
     let batch = (len / (workers as u64 * 8)).clamp(1, 1024);
-    let collected: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(len as usize));
+    let collected: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(len_states));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {

@@ -22,6 +22,14 @@ pub enum SystemError {
     },
     /// The system has no states at all.
     EmptyStateSpace,
+    /// A CSR row handed to [`FiniteSystem::try_from_csr`] is malformed:
+    /// its offsets are inconsistent, or its successors are unsorted or
+    /// duplicated.
+    MalformedRow {
+        /// The state whose row is malformed (`num_states` when the
+        /// offset array itself has the wrong length).
+        state: usize,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -34,6 +42,9 @@ impl fmt::Display for SystemError {
                 write!(f, "state {state} out of range for {num_states} states")
             }
             SystemError::EmptyStateSpace => write!(f, "state space is empty"),
+            SystemError::MalformedRow { state } => {
+                write!(f, "CSR row of state {state} is malformed")
+            }
         }
     }
 }
@@ -194,6 +205,66 @@ impl FiniteSystem {
             init_reachable: OnceLock::new(),
             sccs: OnceLock::new(),
         })
+    }
+
+    /// Constructs a system from forward CSR rows, validating them **in
+    /// every build profile**: offsets must be monotone and cover
+    /// `fwd_to` exactly, every row must be non-empty (the relation is
+    /// total), sorted, and deduplicated, and every successor and initial
+    /// state must lie in `0..num_states`.
+    ///
+    /// This is the entry point for CSR data of *unknown provenance* —
+    /// e.g. a transition relation loaded from a file by `graybox-lint`.
+    /// The streaming GCL compiler constructs its rows well-formed and
+    /// uses the internal debug-checked constructor instead; external
+    /// callers get `Result` instead of release-mode undefined behaviour
+    /// on malformed rows.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::EmptyStateSpace`] for zero states,
+    /// [`SystemError::MalformedRow`] for inconsistent offsets or
+    /// unsorted/duplicated successors, [`SystemError::NotTotal`] for an
+    /// empty row, and [`SystemError::StateOutOfRange`] for a successor
+    /// or initial state outside the space.
+    pub fn try_from_csr(
+        num_states: usize,
+        init: StateSet,
+        fwd_off: Vec<usize>,
+        fwd_to: Vec<usize>,
+    ) -> Result<Self, SystemError> {
+        if num_states == 0 {
+            return Err(SystemError::EmptyStateSpace);
+        }
+        if fwd_off.len() != num_states + 1
+            || fwd_off[0] != 0
+            || *fwd_off.last().unwrap() != fwd_to.len()
+        {
+            return Err(SystemError::MalformedRow { state: num_states });
+        }
+        for state in 0..num_states {
+            let (start, end) = (fwd_off[state], fwd_off[state + 1]);
+            if start > end || end > fwd_to.len() {
+                return Err(SystemError::MalformedRow { state });
+            }
+            let row = &fwd_to[start..end];
+            if row.is_empty() {
+                return Err(SystemError::NotTotal { state });
+            }
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(SystemError::MalformedRow { state });
+            }
+            if let Some(&target) = row.iter().find(|&&target| target >= num_states) {
+                return Err(SystemError::StateOutOfRange {
+                    state: target,
+                    num_states,
+                });
+            }
+        }
+        if let Some(state) = init.iter().find(|&state| state >= num_states) {
+            return Err(SystemError::StateOutOfRange { state, num_states });
+        }
+        Self::from_csr(num_states, init, fwd_off, fwd_to)
     }
 
     /// Number of states in the state space Σ.
@@ -884,5 +955,76 @@ mod tests {
         let text = ring3().to_string();
         assert!(text.contains("3 states"));
         assert!(text.contains("3 edges"));
+    }
+
+    #[test]
+    fn try_from_csr_accepts_well_formed_rows() {
+        let init: StateSet = [0].into_iter().collect();
+        let sys = FiniteSystem::try_from_csr(3, init, vec![0, 1, 3, 4], vec![1, 0, 2, 2]).unwrap();
+        assert_eq!(sys, ring3_with_extra());
+        fn ring3_with_extra() -> FiniteSystem {
+            FiniteSystem::builder(3)
+                .initial(0)
+                .edges([(0, 1), (1, 0), (1, 2), (2, 2)])
+                .build()
+                .unwrap()
+        }
+    }
+
+    #[test]
+    fn try_from_csr_rejects_malformed_input() {
+        let init = || [0].into_iter().collect::<StateSet>();
+        // Empty space.
+        assert_eq!(
+            FiniteSystem::try_from_csr(0, StateSet::with_capacity(0), vec![0], vec![]),
+            Err(SystemError::EmptyStateSpace)
+        );
+        // Offset array of the wrong length.
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, init(), vec![0, 1], vec![0]),
+            Err(SystemError::MalformedRow { state: 2 })
+        );
+        // Offsets not covering the successor array.
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, init(), vec![0, 1, 3], vec![0, 1]),
+            Err(SystemError::MalformedRow { state: 2 })
+        );
+        // Non-monotone offsets.
+        assert_eq!(
+            FiniteSystem::try_from_csr(3, init(), vec![0, 2, 1, 2], vec![0, 1]),
+            Err(SystemError::MalformedRow { state: 1 })
+        );
+        // Empty row: the relation is not total.
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, init(), vec![0, 0, 2], vec![0, 1]),
+            Err(SystemError::NotTotal { state: 0 })
+        );
+        // Unsorted row.
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, init(), vec![0, 2, 3], vec![1, 0, 0]),
+            Err(SystemError::MalformedRow { state: 0 })
+        );
+        // Duplicated successor.
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, init(), vec![0, 2, 3], vec![0, 0, 1]),
+            Err(SystemError::MalformedRow { state: 0 })
+        );
+        // Successor out of range.
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, init(), vec![0, 1, 2], vec![1, 5]),
+            Err(SystemError::StateOutOfRange {
+                state: 5,
+                num_states: 2
+            })
+        );
+        // Initial state out of range.
+        let far_init: StateSet = [4].into_iter().collect();
+        assert_eq!(
+            FiniteSystem::try_from_csr(2, far_init, vec![0, 1, 2], vec![1, 0]),
+            Err(SystemError::StateOutOfRange {
+                state: 4,
+                num_states: 2
+            })
+        );
     }
 }

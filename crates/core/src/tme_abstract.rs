@@ -73,6 +73,7 @@
 use std::collections::HashMap;
 
 use crate::fairness::FairComposition;
+use crate::gcl::ir::{Cond, Expr, IrCommand, Stmt};
 use crate::gcl::reference::{
     CompiledProgram as RefCompiledProgram, Program as RefProgram, Valuation,
 };
@@ -816,6 +817,242 @@ fn protocol_commands_n_reference(program: &mut RefProgram, v: &VarsN, with_wrapp
     }
 }
 
+/// The IR twin of [`protocol_commands_n`]: identical commands in
+/// identical order, expressed as [`IrCommand`] syntax trees instead of
+/// closures. This is what makes the model *statically analyzable* — the
+/// `graybox-analyze` passes certify locality (Lemmas 2–3) and the
+/// wrapper's graybox admissibility from these trees without enumerating
+/// a single state — while compiling to exactly the same systems (the
+/// differential tests assert `==` at n = 2 and n = 3).
+fn protocol_commands_n_ir(program: &mut Program, v: &VarsN, with_wrapper: bool) {
+    let n = v.n;
+    // `i_earlier[ord]` as IR: a 0/1 table lookup over the permutation
+    // index, compared against 1.
+    let earlier_cond = |v: &VarsN, i: usize, j: usize| -> Cond {
+        let table: Vec<usize> = v
+            .earlier
+            .iter()
+            .map(|t| usize::from(t[i * n + j]))
+            .collect();
+        Expr::var(v.ord).table(table).eq(Expr::int(1))
+    };
+    for i in 0..n {
+        let mi = v.m[i];
+        let others = || (0..n).filter(move |&j| j != i);
+        // Request CS: t → h, broadcast requests, forget stale beliefs,
+        // void replies in flight to us, move self to the back of the
+        // ground-truth order.
+        let mut body = vec![Stmt::assign(mi, Expr::int(HUNGRY))];
+        for j in others() {
+            body.push(Stmt::assign(v.c[i][j].unwrap(), Expr::int(REQUEST)));
+        }
+        for j in others() {
+            body.push(Stmt::assign(v.k[i][j].unwrap(), Expr::int(0)));
+        }
+        for j in others() {
+            let slot = v.c[j][i].unwrap();
+            body.push(Stmt::when(
+                Expr::var(slot).eq(Expr::int(REPLY)),
+                vec![Stmt::assign(slot, Expr::int(EMPTY))],
+            ));
+        }
+        let move_back: Vec<usize> = v.move_back.iter().map(|row| row[i]).collect();
+        body.push(Stmt::assign(v.ord, Expr::var(v.ord).table(move_back)));
+        program.command_ir(IrCommand::new(
+            format!("request{i}"),
+            Expr::var(mi).eq(Expr::int(THINKING)),
+            body,
+        ));
+        for j in others() {
+            let cji = v.c[j][i].unwrap();
+            let cij = v.c[i][j].unwrap();
+            let kij = v.k[i][j].unwrap();
+            // Receive request from j and reply — enabled only when i
+            // actually replies (pending requests are the deferred set).
+            program.command_ir(IrCommand::new(
+                format!("recv_request{i}_{j}"),
+                Expr::var(cji)
+                    .eq(Expr::int(REQUEST))
+                    .and(Expr::var(mi).ne(Expr::int(EATING)))
+                    .and(
+                        Expr::var(mi)
+                            .eq(Expr::int(HUNGRY))
+                            .and(earlier_cond(v, i, j))
+                            .not(),
+                    ),
+                vec![
+                    Stmt::assign(cji, Expr::int(EMPTY)),
+                    Stmt::assign(cij, Expr::int(REPLY)),
+                ],
+            ));
+            // Observe a deferred request without consuming it.
+            program.command_ir(IrCommand::new(
+                format!("observe_request{i}_{j}"),
+                Expr::var(cji)
+                    .eq(Expr::int(REQUEST))
+                    .and(Expr::var(mi).eq(Expr::int(HUNGRY)))
+                    .and(earlier_cond(v, i, j))
+                    .and(Expr::var(kij).eq(Expr::int(0))),
+                vec![Stmt::assign(kij, Expr::int(1))],
+            ));
+            // Receive reply from j: while hungry it confirms precedence.
+            program.command_ir(IrCommand::new(
+                format!("recv_reply{i}_{j}"),
+                Expr::var(cji).eq(Expr::int(REPLY)),
+                vec![
+                    Stmt::assign(cji, Expr::int(EMPTY)),
+                    Stmt::when(
+                        Expr::var(mi).eq(Expr::int(HUNGRY)),
+                        vec![Stmt::assign(kij, Expr::int(1))],
+                    ),
+                ],
+            ));
+            if with_wrapper {
+                // The graybox wrapper, per pair. Note what its syntax
+                // tree *cannot* say: it never mentions `ord` (ground
+                // truth) — the wrapper-footprint pass certifies this.
+                program.command_ir(IrCommand::new(
+                    format!("wrapper{i}_{j}"),
+                    Expr::var(mi)
+                        .eq(Expr::int(HUNGRY))
+                        .and(Expr::var(kij).eq(Expr::int(0)))
+                        .and(Expr::var(cij).ne(Expr::int(REPLY))),
+                    vec![Stmt::assign(cij, Expr::int(REQUEST))],
+                ));
+            }
+        }
+        // Grant CS once every pairwise precedence is confirmed.
+        let all_confirmed = others().fold(Expr::var(mi).eq(Expr::int(HUNGRY)), |acc, j| {
+            acc.and(Expr::var(v.k[i][j].unwrap()).eq(Expr::int(1)))
+        });
+        program.command_ir(IrCommand::new(
+            format!("enter{i}"),
+            all_confirmed,
+            vec![Stmt::assign(mi, Expr::int(EATING))],
+        ));
+        // Release CS: back to thinking, forget beliefs.
+        let mut body = vec![Stmt::assign(mi, Expr::int(THINKING))];
+        for j in others() {
+            body.push(Stmt::assign(v.k[i][j].unwrap(), Expr::int(0)));
+        }
+        program.command_ir(IrCommand::new(
+            format!("release{i}"),
+            Expr::var(mi).eq(Expr::int(EATING)),
+            body,
+        ));
+    }
+}
+
+/// The structural role of one variable of the n-process model, in
+/// declaration order — the analysis-agnostic metadata the static passes
+/// consume (ownership for the locality check, spec-visibility for the
+/// wrapper-footprint check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NprocVarRole {
+    /// `m_i`: the mode of process `i` (owned by `i`).
+    Mode(usize),
+    /// `c_ij`: the single-slot channel from `from` to `to` — writable by
+    /// both endpoints (the sender sends, the receiver consumes).
+    Channel {
+        /// Sending process.
+        from: usize,
+        /// Receiving process.
+        to: usize,
+    },
+    /// `k_ij`: `owner`'s belief that its request precedes `about`'s
+    /// (owned by `owner`).
+    Belief {
+        /// The believing process.
+        owner: usize,
+        /// The process the belief is about.
+        about: usize,
+    },
+    /// `ord`: the ground-truth request order — an auxiliary
+    /// (specification-level ghost) variable no single process owns. The
+    /// protocol may consult it (the abstraction of timestamp
+    /// comparison), but a graybox wrapper must not: `Lspec` does not
+    /// expose ground truth.
+    Order,
+}
+
+/// Structural metadata of the n-process model: per-variable roles and
+/// per-command owning processes, in declaration order. The shape is what
+/// `graybox-lint` feeds to the locality / wrapper-footprint /
+/// interference passes.
+#[derive(Debug, Clone)]
+pub struct NprocShape {
+    /// Number of processes.
+    pub n: usize,
+    /// Role of each variable, in declaration order.
+    pub var_roles: Vec<NprocVarRole>,
+    /// Owning process of each command, in declaration order.
+    pub command_process: Vec<usize>,
+    /// Whether each command is a wrapper command.
+    pub command_is_wrapper: Vec<bool>,
+}
+
+/// The shape of [`program_nproc_ir`]`(n, with_wrapper)`. Variable and
+/// command indices match that program's declaration order exactly (a
+/// test asserts the counts line up).
+pub fn nproc_shape(n: usize, with_wrapper: bool) -> NprocShape {
+    let mut var_roles: Vec<NprocVarRole> = (0..n).map(NprocVarRole::Mode).collect();
+    for from in 0..n {
+        for to in 0..n {
+            if from != to {
+                var_roles.push(NprocVarRole::Channel { from, to });
+            }
+        }
+    }
+    for owner in 0..n {
+        for about in 0..n {
+            if owner != about {
+                var_roles.push(NprocVarRole::Belief { owner, about });
+            }
+        }
+    }
+    var_roles.push(NprocVarRole::Order);
+
+    let mut command_process = Vec::new();
+    let mut command_is_wrapper = Vec::new();
+    for i in 0..n {
+        let mut push = |process: usize, wrapper: bool| {
+            command_process.push(process);
+            command_is_wrapper.push(wrapper);
+        };
+        push(i, false); // request{i}
+        for _j in (0..n).filter(|&j| j != i) {
+            push(i, false); // recv_request{i}_{j}
+            push(i, false); // observe_request{i}_{j}
+            push(i, false); // recv_reply{i}_{j}
+            if with_wrapper {
+                push(i, true); // wrapper{i}_{j}
+            }
+        }
+        push(i, false); // enter{i}
+        push(i, false); // release{i}
+    }
+    NprocShape {
+        n,
+        var_roles,
+        command_process,
+        command_is_wrapper,
+    }
+}
+
+/// The IR twin of [`program_nproc`]: the same model assembled from
+/// [`IrCommand`] syntax trees, so the static passes can inspect it. Use
+/// [`nproc_shape`] for the matching ownership metadata.
+pub fn program_nproc_ir(
+    n: usize,
+    with_wrapper: bool,
+) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool) {
+    let mut program = Program::new();
+    let vars = declare_n(&mut program, n);
+    protocol_commands_n_ir(&mut program, &vars, with_wrapper);
+    program.max_states(1 << 26);
+    (program, is_init_n(vars))
+}
+
 fn is_init_n(v: VarsN) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool {
     move |s| {
         (0..v.n).all(|i| {
@@ -1132,6 +1369,108 @@ mod tests {
                 .is_stabilizing_to(&stutter_closure(ref_wrapped.system()))
                 .holds()
         );
+    }
+
+    #[test]
+    fn ir_and_closure_nproc_twins_agree_at_n2() {
+        // The acceptance check at n = 2: IR-compiled and closure-compiled
+        // TME systems (and their fair compositions) are identical.
+        for with_wrapper in [false, true] {
+            let (ir, ir_init) = program_nproc_ir(2, with_wrapper);
+            let (cl, cl_init) = program_nproc(2, with_wrapper);
+            let (ir_fair, ir_compiled) = ir.compile_fair(&ir_init).unwrap();
+            let (cl_fair, cl_compiled) = cl.compile_fair(&cl_init).unwrap();
+            assert_eq!(
+                ir_compiled.system(),
+                cl_compiled.system(),
+                "wrapper={with_wrapper}"
+            );
+            assert_eq!(ir_fair.union(), cl_fair.union());
+            assert_eq!(ir_fair.components(), cl_fair.components());
+            // And the streaming self-check verdict agrees too.
+            let ir_report = ir.fair_self_check(&ir_init).unwrap();
+            let cl_report = cl.fair_self_check(&cl_init).unwrap();
+            assert_eq!(ir_report.holds(), cl_report.holds());
+            assert_eq!(ir_report.legitimate, cl_report.legitimate);
+        }
+    }
+
+    #[test]
+    fn ir_and_closure_nproc_twins_agree_at_n3_sampled() {
+        // Debug-speed slice of the n = 3 equality: identical successor
+        // rows on a deterministic lattice of packed states (the full
+        // 7.5M-state sweep is the `--ignored` test below, which CI runs
+        // in release).
+        for with_wrapper in [false, true] {
+            let (ir, _) = program_nproc_ir(3, with_wrapper);
+            let (cl, _) = program_nproc(3, with_wrapper);
+            let total = ir.state_space().unwrap();
+            assert_eq!(total, 7_558_272);
+            assert_eq!(total, cl.state_space().unwrap());
+            // 997 is coprime to the domain product's factors, so the
+            // lattice sprays across every mixed-radix digit.
+            for state in (0..total).step_by(997).chain([0, total - 1]) {
+                assert_eq!(
+                    ir.step(state).unwrap(),
+                    cl.step(state).unwrap(),
+                    "state {state}, wrapper={with_wrapper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "full 7.5M-state sweep; minutes in debug — CI runs it in release"]
+    fn ir_and_closure_nproc_twins_agree_at_n3_full() {
+        // The acceptance check at n = 3, exhaustively: every successor
+        // row of the full domain product matches between the IR and
+        // closure builds of the wrapped model (memory-light: rows are
+        // compared streaming, nothing is materialized).
+        let (ir, _) = program_nproc_ir(3, true);
+        let (cl, _) = program_nproc(3, true);
+        let total = ir.state_space().unwrap();
+        for state in 0..total {
+            assert_eq!(ir.step(state).unwrap(), cl.step(state).unwrap(), "{state}");
+        }
+    }
+
+    #[test]
+    fn nproc_shape_matches_the_ir_program() {
+        for (n, with_wrapper) in [(2, false), (2, true), (3, true)] {
+            let (program, _) = program_nproc_ir(n, with_wrapper);
+            let shape = nproc_shape(n, with_wrapper);
+            assert_eq!(shape.var_roles.len(), program.variables().len());
+            assert_eq!(shape.command_process.len(), program.num_commands());
+            assert_eq!(shape.command_is_wrapper.len(), program.num_commands());
+            // Roles line up with declared names, and wrapper flags with
+            // command names.
+            for (index, (name, _domain)) in program.variables().enumerate() {
+                match shape.var_roles[index] {
+                    NprocVarRole::Mode(i) => assert_eq!(name, format!("m{i}")),
+                    NprocVarRole::Channel { from, to } => {
+                        assert_eq!(name, format!("c{from}{to}"));
+                    }
+                    NprocVarRole::Belief { owner, about } => {
+                        assert_eq!(name, format!("k{owner}{about}"));
+                    }
+                    NprocVarRole::Order => assert_eq!(name, "ord"),
+                }
+            }
+            for index in 0..program.num_commands() {
+                let name = program.command_name(index);
+                assert_eq!(
+                    shape.command_is_wrapper[index],
+                    name.starts_with("wrapper"),
+                    "{name}"
+                );
+                assert!(
+                    name.contains(&shape.command_process[index].to_string()),
+                    "{name} not owned by process {}",
+                    shape.command_process[index]
+                );
+                assert!(program.ir_command(index).is_some(), "{name} lost its IR");
+            }
+        }
     }
 
     #[test]

@@ -37,8 +37,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 let (trace, outcome) = scenarios::deadlock(&config);
                 let fault_at = trace.last_fault_time().expect("marked");
                 outcome.recovery_ticks(fault_at).and_then(|ticks| {
-                    (outcome.total_entries as usize == n)
-                        .then_some((ticks, outcome.wrapper_resends))
+                    (outcome.total_entries == n as u64).then_some((ticks, outcome.wrapper_resends))
                 })
             });
             let mut recoveries = Vec::new();

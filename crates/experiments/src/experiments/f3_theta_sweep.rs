@@ -34,7 +34,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .horizon(SimTime::from(8_000));
             let (trace, outcome) = scenarios::deadlock(&config);
             let fault_at = trace.last_fault_time().expect("marked");
-            (outcome.total_entries as usize == n).then(|| {
+            (outcome.total_entries == n as u64).then(|| {
                 (
                     outcome.recovery_ticks(fault_at).unwrap_or(0),
                     outcome.wrapper_resends,

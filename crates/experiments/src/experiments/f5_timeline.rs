@@ -59,10 +59,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
         recorder.mark_fault(&sim, ProcessId(0), "mid-workload §4 deadlock".into());
         recorder.run_until(&mut sim, horizon);
         let trace = recorder.into_trace();
-        let buckets = (horizon.ticks() / BUCKET + 1) as usize;
+        let buckets =
+            usize::try_from(horizon.ticks() / BUCKET + 1).expect("timeline horizon too long");
         let mut counts = vec![0u64; buckets];
         for grant in tme_spec::granted_requests(&trace) {
-            let bucket = (grant.entry_time.ticks() / BUCKET) as usize;
+            let bucket = usize::try_from(grant.entry_time.ticks() / BUCKET).unwrap_or(usize::MAX);
             if bucket < buckets {
                 counts[bucket] += 1;
             }

@@ -11,7 +11,8 @@ use crate::table::{pct, Table};
 use super::{ExperimentResult, Scale};
 
 pub fn run(scale: Scale) -> ExperimentResult {
-    let seeds = scale.pick(8, 2) as u64;
+    let num_seeds = scale.pick(8, 2);
+    let seeds = num_seeds as u64;
     let n = 3;
     let mut table = Table::new(&[
         "implementation",
@@ -59,10 +60,10 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 } else {
                     "reordering".to_string()
                 },
-                pct(me[0], seeds as usize),
-                pct(me[1], seeds as usize),
-                pct(me[2], seeds as usize),
-                pct(lspec_clean, seeds as usize),
+                pct(me[0], num_seeds),
+                pct(me[1], num_seeds),
+                pct(me[2], num_seeds),
+                pct(lspec_clean, num_seeds),
             ]);
         }
     }

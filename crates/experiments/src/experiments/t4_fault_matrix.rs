@@ -12,7 +12,8 @@ use crate::table::{pct, Table};
 use super::{ExperimentResult, Scale};
 
 pub fn run(scale: Scale) -> ExperimentResult {
-    let seeds = scale.pick(6, 2) as u64;
+    let num_seeds = scale.pick(6, 2);
+    let seeds = num_seeds as u64;
     let implementations: &[Implementation] = if scale == Scale::Full {
         &Implementation::ALL
     } else {
@@ -61,7 +62,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                     kind.label().to_string(),
                     implementation.label().to_string(),
                     wrapper.label(),
-                    pct(stabilized, seeds as usize),
+                    pct(stabilized, num_seeds),
                     format!("{:.1}", mean(&me1)),
                     format!("{:.1}", mean(&entries)),
                 ]);

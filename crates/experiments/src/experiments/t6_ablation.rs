@@ -36,7 +36,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                     .horizon(SimTime::from(6_000));
                 let (trace, outcome) = scenarios::deadlock(&config);
                 let fault_at = trace.last_fault_time().expect("marked");
-                if outcome.total_entries as usize == n {
+                if outcome.total_entries == n as u64 {
                     recovered += 1;
                     recoveries.push(outcome.recovery_ticks(fault_at).unwrap_or(0));
                     resends.push(outcome.wrapper_resends);

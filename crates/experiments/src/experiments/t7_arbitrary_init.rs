@@ -10,7 +10,8 @@ use crate::table::{mark, pct, Table};
 use super::{ExperimentResult, Scale};
 
 pub fn run(scale: Scale) -> ExperimentResult {
-    let seeds = scale.pick(8, 2) as u64;
+    let num_seeds = scale.pick(8, 2);
+    let seeds = num_seeds as u64;
     let n = 3;
     let mut table = Table::new(&[
         "implementation",
@@ -44,9 +45,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
             table.row(vec![
                 implementation.label().to_string(),
                 wrapper.label(),
-                pct(stabilized, seeds as usize),
-                pct(served, seeds as usize),
-                mark(clean == seeds as usize),
+                pct(stabilized, num_seeds),
+                pct(served, num_seeds),
+                mark(clean == num_seeds),
             ]);
         }
     }

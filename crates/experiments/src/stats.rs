@@ -12,6 +12,9 @@ pub fn percentile(values: &[u64], p: f64) -> u64 {
     }
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
+    // The nearest-rank index is non-negative and clamped into
+    // `1..=len` before use, so the narrowing cast cannot misindex.
+    #[allow(clippy::cast_possible_truncation)]
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }

@@ -236,7 +236,8 @@ pub(crate) fn last_grant(trace: &Trace) -> Option<SimTime> {
 /// Builds the simulation for a config (for scenario scripts that need to
 /// drive the simulation by hand, like the mid-workload deadlock of F5).
 pub fn build_sim(config: &RunConfig) -> Simulation<Wrapped> {
-    let procs = (0..config.n as u32)
+    let num_procs = u32::try_from(config.n).expect("process count exceeds u32");
+    let procs = (0..num_procs)
         .map(|i| {
             GrayboxWrapper::new(
                 TmeProcess::new(config.implementation, ProcessId(i), config.n),
@@ -262,13 +263,14 @@ pub(crate) fn apply_fault(
     kind: FaultKind,
 ) -> (String, ProcessId) {
     let n = sim.len();
-    let random_pid = |rng: &mut SmallRng| ProcessId(rng.gen_range(0..n as u32));
+    let n_u32 = u32::try_from(n).expect("process count exceeds u32");
+    let random_pid = |rng: &mut SmallRng| ProcessId(rng.gen_range(0..n_u32));
     let random_pair = |rng: &mut SmallRng| {
-        let from = rng.gen_range(0..n as u32);
-        let mut to = rng.gen_range(0..n as u32);
+        let from = rng.gen_range(0..n_u32);
+        let mut to = rng.gen_range(0..n_u32);
         if n > 1 {
             while to == from {
-                to = rng.gen_range(0..n as u32);
+                to = rng.gen_range(0..n_u32);
             }
         }
         (ProcessId(from), ProcessId(to))

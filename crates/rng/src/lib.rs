@@ -97,6 +97,8 @@ macro_rules! impl_sample_range {
     ($($t:ty),* $(,)?) => {$(
         impl SampleRange<$t> for Range<$t> {
             #[inline]
+            // The reduced draw is < span, which fits $t by construction.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
@@ -106,6 +108,8 @@ macro_rules! impl_sample_range {
 
         impl SampleRange<$t> for RangeInclusive<$t> {
             #[inline]
+            // As above; the whole-domain case only arises for $t = u64.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = self.into_inner();
                 assert!(start <= end, "cannot sample empty range");

@@ -154,8 +154,12 @@ fn stats_add_up() {
         };
         sim.run_until(SimTime::from(10_000));
         let stats = sim.stats();
-        assert_eq!(stats.sent as usize, count, "case {case}");
-        assert_eq!(stats.delivered as usize + flushed, count, "case {case}");
-        assert_eq!(stats.skipped as usize, flushed, "case {case}");
+        assert_eq!(stats.sent, count as u64, "case {case}");
+        assert_eq!(
+            stats.delivered + flushed as u64,
+            count as u64,
+            "case {case}"
+        );
+        assert_eq!(stats.skipped, flushed as u64, "case {case}");
     }
 }

@@ -108,7 +108,7 @@ mod tests {
 
     fn fault_free(seed: u64) -> Trace {
         let n = 3;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn unwrapped_deadlock_does_not_converge() {
         let n = 2;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(4));

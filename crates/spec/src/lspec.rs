@@ -424,7 +424,7 @@ mod tests {
     use graybox_tme::{Implementation, TmeClient, TmeProcess, Workload, WorkloadConfig};
 
     fn fault_free_trace(implementation: Implementation, n: usize, seed: u64) -> Trace {
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
@@ -489,7 +489,7 @@ mod tests {
         use graybox_rng::SeedableRng;
         use graybox_simnet::Corruptible;
         let n = 3;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(9));

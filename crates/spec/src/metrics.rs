@@ -105,7 +105,7 @@ mod tests {
 
     fn contended_trace(implementation: Implementation, seed: u64) -> Trace {
         let n = 3;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn empty_trace_yields_empty_metrics() {
         let n = 2;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
             .collect();
         let sim: Simulation<TmeProcess> = Simulation::new(procs, SimConfig::with_seed(4));

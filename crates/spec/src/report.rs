@@ -128,7 +128,7 @@ mod tests {
 
     fn trace() -> Trace {
         let n = 3;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(1));

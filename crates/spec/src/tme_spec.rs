@@ -104,7 +104,7 @@ pub fn granted_requests(trace: &Trace) -> Vec<GrantedRequest> {
                 } else if prev_mode.is_hungry() && now_mode.is_eating() {
                     if let Some((request_event, req, request_time)) = open.take() {
                         result.push(GrantedRequest {
-                            pid: ProcessId(pid as u32),
+                            pid: ProcessId(u32::try_from(pid).expect("process count exceeds u32")),
                             req,
                             request_event,
                             entry_ts: snap.now_ts,
@@ -189,7 +189,7 @@ mod tests {
     use graybox_tme::{Implementation, TmeProcess, Workload, WorkloadConfig};
 
     fn fault_free_trace(implementation: Implementation, n: usize, seed: u64) -> Trace {
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
@@ -248,7 +248,7 @@ mod tests {
     fn me2_flags_permanent_starvation() {
         // Deadlock run: both requests dropped (no wrapper).
         let n = 2;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(8));

@@ -282,7 +282,7 @@ impl TmeIntrospect for RaMeAlt {
 
 impl Corruptible for RaMeAlt {
     fn corrupt(&mut self, rng: &mut dyn RngCore) {
-        let n = self.n as u32;
+        let n = u32::try_from(self.n).expect("process count exceeds u32");
         let small_ts = |rng: &mut dyn RngCore| {
             Timestamp::new(
                 u64::from(rng.next_u32() % 64),

@@ -344,7 +344,7 @@ impl TmeIntrospect for LamportMe {
 
 impl Corruptible for LamportMe {
     fn corrupt(&mut self, rng: &mut dyn RngCore) {
-        let n = self.n as u32;
+        let n = u32::try_from(self.n).expect("process count exceeds u32");
         let small_ts = |rng: &mut dyn RngCore| {
             Timestamp::new(
                 u64::from(rng.next_u32() % 64),

@@ -22,7 +22,7 @@ fn pick_implementation(rng: &mut SmallRng) -> Implementation {
 }
 
 fn build(implementation: Implementation, n: usize, seed: u64) -> Simulation<TmeProcess> {
-    let procs = (0..n as u32)
+    let procs = (0..u32::try_from(n).unwrap())
         .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
         .collect();
     Simulation::new(procs, SimConfig::with_seed(seed))

@@ -491,7 +491,7 @@ mod tests {
         use graybox_tme::{Workload, WorkloadConfig};
         for implementation in Implementation::ALL {
             let n = 3;
-            let procs = (0..n as u32)
+            let procs = (0..u32::try_from(n).unwrap())
                 .map(|i| {
                     GrayboxWrapper::new(
                         TmeProcess::new(implementation, ProcessId(i), n),

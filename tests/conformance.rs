@@ -46,8 +46,8 @@ fn every_implementation_satisfies_both_specs_fault_free() {
             // Requests arriving while a process is still hungry are ignored
             // (Structural Spec), so under contention fewer than n*3 can be
             // served — but each process's first request always is.
-            assert!(outcome.total_entries as usize >= n);
-            assert!(outcome.total_entries as usize <= n * 3);
+            assert!(outcome.total_entries >= n as u64);
+            assert!(outcome.total_entries <= n as u64 * 3);
         }
     }
 }
@@ -69,7 +69,7 @@ fn wrapped_systems_also_conform_fault_free() {
                 "{implementation} θ={theta}: wrapper interfered: {:?}",
                 report.violated_conjuncts()
             );
-            assert!(outcome.total_entries as usize >= n);
+            assert!(outcome.total_entries >= n as u64);
         }
     }
 }
@@ -78,7 +78,7 @@ fn wrapped_systems_also_conform_fault_free() {
 fn invariant_i_holds_throughout_legitimate_runs() {
     for implementation in Implementation::ALL {
         let n = 3;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(55));
@@ -145,7 +145,7 @@ fn synchronized_max_contention_preserves_safety() {
     use graybox::tme::Workload;
     for implementation in Implementation::ALL {
         let n = 5;
-        let procs = (0..n as u32)
+        let procs = (0..u32::try_from(n).unwrap())
             .map(|i| TmeProcess::new(implementation, ProcessId(i), n))
             .collect();
         let mut sim = Simulation::new(procs, SimConfig::with_seed(88));

@@ -97,7 +97,7 @@ impl Corruptible for DownstreamNode {
 type WrappedDownstream = GrayboxWrapper<DownstreamNode>;
 
 fn build(n: usize, theta: u64, seed: u64) -> Simulation<WrappedDownstream> {
-    let procs = (0..n as u32)
+    let procs = (0..u32::try_from(n).unwrap())
         .map(|i| {
             GrayboxWrapper::new(
                 DownstreamNode::new(ProcessId(i), n),
