@@ -5,7 +5,9 @@
 //! paths, and the packed-state GCL compiler against the retained
 //! decode/encode reference compiler on the TME case study
 //! (`gcl_compile/{2proc,3proc}`, plus the end-to-end streaming
-//! `tme_exhaustive/3proc` check), and writes the results to
+//! `tme_exhaustive/3proc` check), and the sharded parallel pipeline
+//! against its own serial sweep (worker-count scaling at 1/2/4/8
+//! threads, honoring `GRAYBOX_THREADS`), and writes the results to
 //! `BENCH_core.json`. Dependency-free (plain `std::time::Instant` loops)
 //! so it runs in the offline tier-1 environment; the criterion suite in
 //! `crates/bench/criterion` is the networked, statistical counterpart.
@@ -285,31 +287,72 @@ fn main() {
     }
 
     // --- GCL compilation at scale: the unwrapped 3-process abstraction
-    // (7 558 272 states x 27 commands), one timed compile per engine —
-    // the reference compiler takes minutes here, which is the point.
-    // Skipped in smoke mode to keep CI fast. ---
-    if !smoke {
+    // (7 558 272 states x 27 commands). In full mode: the default packed
+    // engine vs the decode/encode reference (which takes minutes here —
+    // that is the point), plus sharded-compile scaling at 1/2/4/8
+    // workers, every output asserted bit-identical to the serial sweep.
+    // In smoke mode only the serial-vs-parallel gate pair runs, and only
+    // when more than one core is available. ---
+    let threads = available_workers();
+    {
         let (packed, packed_init) = tme_abstract::program_nproc(3, false);
-        let (reference, reference_init) = tme_abstract::program_nproc_reference(3, false);
         let name = "gcl_compile/3proc".to_string();
-        let (sample, packed_sys) = bench_once(&name, "packed", || {
-            packed.compile(&packed_init).expect("packed 3proc")
-        });
-        samples.push(sample);
-        let (sample, reference_sys) = bench_once(&name, "reference", || {
-            reference.compile(&reference_init).expect("reference 3proc")
-        });
-        samples.push(sample);
-        assert_eq!(
-            packed_sys.system(),
-            reference_sys.system(),
-            "3proc compilers disagree"
-        );
+        if !smoke {
+            let (sample, packed_sys) = bench_once(&name, "packed", || {
+                packed.compile(&packed_init).expect("packed 3proc")
+            });
+            samples.push(sample);
+            let (reference, reference_init) = tme_abstract::program_nproc_reference(3, false);
+            let (sample, reference_sys) = bench_once(&name, "reference", || {
+                reference.compile(&reference_init).expect("reference 3proc")
+            });
+            samples.push(sample);
+            assert_eq!(
+                packed_sys.system(),
+                reference_sys.system(),
+                "3proc compilers disagree"
+            );
+            drop(reference_sys);
+            // Worker-count scaling; the sharded compiler promises
+            // bit-identical CSR at every worker count, so check it on
+            // the very systems being timed.
+            for k in [1usize, 2, 4, 8] {
+                let (sample, sys) = bench_once(&format!("{name}/threads={k}"), "packed", || {
+                    packed.compile_on(k, &packed_init).expect("packed 3proc")
+                });
+                samples.push(sample);
+                assert_eq!(
+                    packed_sys.system(),
+                    sys.system(),
+                    "sharded 3proc compile diverges at {k} workers"
+                );
+            }
+        }
+        if threads > 1 {
+            // The serial-vs-parallel gate pair (smoke included): the
+            // parallel engine must beat the serial sweep on this box.
+            let (sample, serial_sys) = bench_once(&name, "packed-serial", || {
+                packed.compile_on(1, &packed_init).expect("packed 3proc")
+            });
+            samples.push(sample);
+            let (sample, parallel_sys) = bench_once(&name, "packed-parallel", || {
+                packed
+                    .compile_on(threads, &packed_init)
+                    .expect("packed 3proc")
+            });
+            samples.push(sample);
+            assert_eq!(
+                serial_sys.system(),
+                parallel_sys.system(),
+                "sharded 3proc compile diverges at {threads} workers"
+            );
+        }
     }
 
     // --- End-to-end streaming check of the 3-process abstraction: the
     // T9 Scale::Full workload (compile-free fair self-check, no
-    // materialized FairComposition). Skipped in smoke mode. ---
+    // materialized FairComposition), default engine plus worker-count
+    // scaling. Skipped in smoke mode. ---
     if !smoke {
         let (sample, verdicts) = bench_once("tme_exhaustive/3proc", "packed-streaming", || {
             tme_abstract::build_n(3)
@@ -318,6 +361,19 @@ fn main() {
         });
         assert!(verdicts.as_predicted(), "3proc verdicts regressed");
         samples.push(sample);
+        for k in [1usize, 2, 4, 8] {
+            let (sample, scaled) = bench_once(
+                &format!("tme_exhaustive/3proc/threads={k}"),
+                "packed-streaming",
+                || {
+                    tme_abstract::build_n(3)
+                        .and_then(|tme| tme.check_on(k))
+                        .expect("3proc check runs")
+                },
+            );
+            samples.push(sample);
+            assert_eq!(verdicts, scaled, "3proc verdicts diverge at {k} workers");
+        }
     }
 
     // --- Aggregate speedups (baseline ns / new ns, per bench name). ---
@@ -347,6 +403,28 @@ fn main() {
     if !smoke {
         speedups.extend(speedup("gcl_compile/3proc", "packed", "reference"));
     }
+    if threads > 1 {
+        if let Some((_, factor)) = speedup("gcl_compile/3proc", "packed-parallel", "packed-serial")
+        {
+            speedups.push(("gcl_compile/3proc/parallel".to_string(), factor));
+        }
+    }
+    if !smoke {
+        // Streaming-check scaling: threads=1 vs threads=4, both measured
+        // above regardless of the host's core count.
+        let scaled = |k: usize| {
+            samples
+                .iter()
+                .find(|s| s.name == format!("tme_exhaustive/3proc/threads={k}"))
+                .map(|s| s.ns_per_iter)
+        };
+        if let (Some(serial), Some(parallel)) = (scaled(1), scaled(4)) {
+            speedups.push((
+                "tme_exhaustive/3proc/parallel".to_string(),
+                serial / parallel,
+            ));
+        }
+    }
 
     eprintln!();
     for (name, factor) in &speedups {
@@ -356,9 +434,15 @@ fn main() {
     // --- Emit BENCH_core.json (hand-rolled; no serde offline). ---
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"harness\": \"graybox-bench\",\n  \"mode\": \"{}\",\n  \"threads_used\": {},\n",
-        if smoke { "smoke" } else { "full" },
-        available_workers()
+        "  \"harness\": \"graybox-bench\",\n  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    let threads_available = std::thread::available_parallelism().map_or(1, usize::from);
+    let graybox_threads =
+        std::env::var("GRAYBOX_THREADS").map_or("null".to_string(), |v| format!("\"{v}\""));
+    json.push_str(&format!(
+        "  \"threads_available\": {threads_available},\n  \
+         \"graybox_threads_env\": {graybox_threads},\n  \"threads_used\": {threads},\n"
     ));
     json.push_str("  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -407,4 +491,42 @@ fn main() {
         compile_speedup >= 5.0,
         "packed GCL compiler regressed: only {compile_speedup:.1}x over the reference at 2proc"
     );
+
+    // The parallel sweep must never lose to the serial driver — the
+    // chunked work split makes low-core-count runs at worst break-even,
+    // so anything below 0.9x (measurement-noise allowance) is a
+    // regression. At 1 thread both rows execute the identical code
+    // path and the comparison measures only calibration drift, so the
+    // gate is live only when parallelism actually engages.
+    if threads > 1 {
+        let sweep_factor = speedups
+            .iter()
+            .find(|(name, _)| name == "sweep/64x(n=400)")
+            .map(|&(_, f)| f)
+            .unwrap_or(0.0);
+        assert!(
+            sweep_factor >= 0.9,
+            "parallel sweep lost to serial: {sweep_factor:.2}x at {threads} threads"
+        );
+    } else {
+        eprintln!("single core: skipping the sweep parallel-vs-serial gate");
+    }
+
+    // Sharded compilation must actually pay off when cores exist. On a
+    // single-core host serial and parallel are the same engine, so the
+    // gate is meaningless there and is skipped.
+    if threads > 1 {
+        let par_factor = speedups
+            .iter()
+            .find(|(name, _)| name == "gcl_compile/3proc/parallel")
+            .map(|&(_, f)| f)
+            .unwrap_or(0.0);
+        assert!(
+            par_factor >= 1.5,
+            "sharded GCL compiler regressed: only {par_factor:.2}x over serial \
+             at {threads} threads on gcl_compile/3proc"
+        );
+    } else {
+        eprintln!("single core: skipping the gcl_compile/3proc parallel gate");
+    }
 }

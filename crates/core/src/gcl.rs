@@ -66,9 +66,12 @@ pub mod reference;
 
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 
 use crate::bitset::StateSet;
 use crate::fairness::FairComposition;
+use crate::par::{self, U32Graph};
+use crate::sweep::{available_workers, chunk_ranges, join_all};
 use crate::{FiniteSystem, SystemError};
 
 /// Default cap on compiled state-space size, to catch accidental blowups.
@@ -267,8 +270,8 @@ impl<'a> State<'a> {
     }
 }
 
-type Guard = Box<dyn for<'a, 'b> Fn(&'a State<'b>) -> bool>;
-type Effect = Box<dyn for<'a, 'b> Fn(&'a mut State<'b>)>;
+type Guard = Box<dyn for<'a, 'b> Fn(&'a State<'b>) -> bool + Send + Sync>;
+type Effect = Box<dyn for<'a, 'b> Fn(&'a mut State<'b>) + Send + Sync>;
 
 /// How a command's guard and effect are represented: opaque closures
 /// (the original API) or the first-class expression IR of [`ir`], which
@@ -345,11 +348,16 @@ impl Program {
     }
 
     /// Adds a guarded command `name :: guard → effect`.
+    ///
+    /// Guards and effects must be `Send + Sync`: the sharded compile
+    /// sweeps evaluate them from several worker threads at once (each
+    /// worker owns a private [`State`] view, so `&self` access is all
+    /// they share).
     pub fn command(
         &mut self,
         name: impl Into<String>,
-        guard: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + 'static,
-        effect: impl for<'a, 'b> Fn(&'a mut State<'b>) + 'static,
+        guard: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Send + Sync + 'static,
+        effect: impl for<'a, 'b> Fn(&'a mut State<'b>) + Send + Sync + 'static,
     ) {
         self.commands.push(Command {
             name: name.into(),
@@ -529,39 +537,107 @@ impl Program {
     /// command contributes an edge; states with no enabled command stutter.
     ///
     /// One streaming sweep evaluates guards and effects on the packed
-    /// word and appends each staged row directly to the CSR arrays.
+    /// word and appends each staged row directly to the CSR arrays. On
+    /// spaces large enough to amortize thread startup the sweep is
+    /// *sharded*: [`available_workers`] contiguous chunks run odometer
+    /// sweeps concurrently and their row segments are stitched by
+    /// prefix-sum offsets — the output is bit-identical to the serial
+    /// sweep's regardless of worker count.
     ///
     /// # Errors
     ///
     /// See [`GclError`].
     pub fn compile(
         &self,
-        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
     ) -> Result<CompiledProgram, GclError> {
         let layout = self.layout()?;
+        let workers = default_workers(narrow(layout.total));
+        self.compile_with(&layout, workers, &init)
+    }
+
+    /// [`compile`](Self::compile) with an explicit worker count
+    /// (`workers <= 1` runs the serial sweep on the calling thread).
+    /// Output is identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn compile_on(
+        &self,
+        workers: usize,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<CompiledProgram, GclError> {
+        let layout = self.layout()?;
+        self.compile_with(&layout, workers, &init)
+    }
+
+    fn compile_with(
+        &self,
+        layout: &Layout,
+        workers: usize,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<CompiledProgram, GclError> {
         let total = narrow(layout.total);
-        let mut init_set = StateSet::with_capacity(total);
-        let mut fwd_off = vec![0usize; total + 1];
-        let mut fwd_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
-        let mut row: Vec<usize> = Vec::with_capacity(self.commands.len().max(1));
-        let mut view = State::new(&layout);
-        for state in 0..total {
-            if init(&view) {
-                init_set.insert(state);
-            }
-            self.successor_row(&mut view, &mut row)
-                .map_err(|c| self.out_of_domain(c))?;
-            fwd_to.extend_from_slice(&row);
-            fwd_off[state + 1] = fwd_to.len();
-            view.advance();
+        let chunks = chunk_ranges(total, workers.max(1), CHUNK_ALIGN);
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                move || self.compile_chunk(layout, range, init)
+            })
+            .collect();
+        // `collect` keeps the error of the lowest failing chunk — the
+        // same error the serial sweep would hit first.
+        let parts: Vec<PlainChunk> = join_all(tasks).into_iter().collect::<Result<_, _>>()?;
+        let mut csr_parts = Vec::with_capacity(parts.len());
+        let mut init_parts = Vec::with_capacity(parts.len());
+        for part in parts {
+            csr_parts.push((part.off, part.to));
+            init_parts.push(part.init_blocks);
         }
+        let init_set = stitch_init(total, &chunks, init_parts);
         if init_set.is_empty() {
             return Err(GclError::NoInitialState);
         }
+        let (fwd_off, fwd_to) = stitch_csr(total, &chunks, csr_parts);
         let system = FiniteSystem::from_csr(total, init_set, fwd_off, fwd_to)?;
         Ok(CompiledProgram {
             system,
             var_info: self.vars.clone(),
+        })
+    }
+
+    /// One chunk of the sharded plain sweep: rows for `range` with
+    /// chunk-relative offsets, plus the chunk's init bits as raw
+    /// 64-aligned blocks.
+    fn compile_chunk(
+        &self,
+        layout: &Layout,
+        range: Range<usize>,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<PlainChunk, GclError> {
+        let len = range.len();
+        let mut off = vec![0usize; len + 1];
+        let mut to: Vec<usize> = Vec::with_capacity(len.saturating_mul(2));
+        let mut init_blocks = vec![0u64; len.div_ceil(64)];
+        let mut row: Vec<usize> = Vec::with_capacity(self.commands.len().max(1));
+        let mut view = State::new(layout);
+        view.load(range.start as u64);
+        for local in 0..len {
+            if init(&view) {
+                init_blocks[local / 64] |= 1u64 << (local % 64);
+            }
+            self.successor_row(&mut view, &mut row)
+                .map_err(|c| self.out_of_domain(c))?;
+            to.extend_from_slice(&row);
+            off[local + 1] = to.len();
+            view.advance();
+        }
+        Ok(PlainChunk {
+            off,
+            to,
+            init_blocks,
         })
     }
 
@@ -571,84 +647,87 @@ impl Program {
     ///
     /// A single full-space sweep produces the plain system, every
     /// per-command component, and the edge-union system (the old pipeline
-    /// ran one extra sweep per command).
+    /// ran one extra sweep per command). Like [`compile`](Self::compile),
+    /// large spaces shard the sweep across workers with bit-identical
+    /// output: each command's component successor array is written in
+    /// place through per-chunk column slices.
     ///
     /// # Errors
     ///
     /// See [`GclError`].
     pub fn compile_fair(
         &self,
-        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
     ) -> Result<(FairComposition, CompiledProgram), GclError> {
         let layout = self.layout()?;
+        let workers = default_workers(narrow(layout.total));
+        self.compile_fair_with(&layout, workers, &init)
+    }
+
+    /// [`compile_fair`](Self::compile_fair) with an explicit worker
+    /// count (`workers <= 1` runs the serial sweep on the calling
+    /// thread). Output is identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn compile_fair_on(
+        &self,
+        workers: usize,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<(FairComposition, CompiledProgram), GclError> {
+        let layout = self.layout()?;
+        self.compile_fair_with(&layout, workers, &init)
+    }
+
+    fn compile_fair_with(
+        &self,
+        layout: &Layout,
+        workers: usize,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<(FairComposition, CompiledProgram), GclError> {
         let total = narrow(layout.total);
         let ncmd = self.commands.len();
+        let chunks = chunk_ranges(total, workers.max(1), CHUNK_ALIGN);
 
-        // The one sweep: plain CSR rows, the union CSR rows, and each
-        // command's component row (its target when enabled, a skip
-        // self-loop when disabled) written straight into that component's
-        // final successor array — no post-pass, no copies. The union row
-        // is the plain row plus a skip self-loop whenever some command is
-        // disabled — derived from the already-sorted plain row by
-        // inserting `state` in place, so no second full-space pass and no
-        // second per-state sort.
-        let mut init_set = StateSet::with_capacity(total);
-        let mut fwd_off = vec![0usize; total + 1];
-        let mut fwd_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
-        let mut union_off = vec![0usize; total + 1];
-        let mut union_to: Vec<usize> = Vec::with_capacity(total.saturating_mul(2));
+        // Each command's component successor array (its target when
+        // enabled, a skip self-loop when disabled) is written straight
+        // into its final buffer: the columns are split at the chunk
+        // boundaries so every worker owns its slice of every column.
         let mut comp_to: Vec<Vec<usize>> = (0..ncmd).map(|_| vec![0usize; total]).collect();
-        let mut row: Vec<usize> = Vec::with_capacity(ncmd.max(1));
-        let mut view = State::new(&layout);
-        for state in 0..total {
-            if init(&view) {
-                init_set.insert(state);
+        let mut chunk_cols: Vec<Vec<&mut [usize]>> =
+            chunks.iter().map(|_| Vec::with_capacity(ncmd)).collect();
+        for column in &mut comp_to {
+            let mut rest: &mut [usize] = column;
+            for (slot, range) in chunk_cols.iter_mut().zip(&chunks) {
+                let (head, tail) = rest.split_at_mut(range.len());
+                slot.push(head);
+                rest = tail;
             }
-            row.clear();
-            let mut enabled = 0usize;
-            for (index, command) in self.commands.iter().enumerate() {
-                comp_to[index][state] = if command.enabled(&view) {
-                    view.begin_effect();
-                    command.apply(&mut view);
-                    let target = narrow(
-                        view.finish_effect()
-                            .map_err(|()| self.out_of_domain(index))?,
-                    );
-                    row.push(target);
-                    enabled += 1;
-                    target
-                } else {
-                    state
-                };
-            }
-            if row.is_empty() {
-                row.push(state);
-            }
-            row.sort_unstable();
-            row.dedup();
-            fwd_to.extend_from_slice(&row);
-            fwd_off[state + 1] = fwd_to.len();
-            if enabled == ncmd {
-                union_to.extend_from_slice(&row);
-            } else {
-                // Some command is disabled (or none are enabled, in which
-                // case the stutter row already equals `[state]`): the
-                // union gains the skip self-loop.
-                match row.binary_search(&state) {
-                    Ok(_) => union_to.extend_from_slice(&row),
-                    Err(pos) => {
-                        union_to.extend_from_slice(&row[..pos]);
-                        union_to.push(state);
-                        union_to.extend_from_slice(&row[pos..]);
-                    }
-                }
-            }
-            union_off[state + 1] = union_to.len();
-            view.advance();
         }
+        let tasks: Vec<_> = chunks
+            .iter()
+            .zip(chunk_cols)
+            .map(|(range, cols)| {
+                let range = range.clone();
+                move || self.fair_chunk(layout, range, init, cols)
+            })
+            .collect();
+        let parts: Vec<FairChunk> = join_all(tasks).into_iter().collect::<Result<_, _>>()?;
+        let mut plain_parts = Vec::with_capacity(parts.len());
+        let mut union_parts = Vec::with_capacity(parts.len());
+        let mut init_parts = Vec::with_capacity(parts.len());
+        for part in parts {
+            plain_parts.push((part.off, part.to));
+            union_parts.push((part.union_off, part.union_to));
+            init_parts.push(part.init_blocks);
+        }
+        let init_set = stitch_init(total, &chunks, init_parts);
         if init_set.is_empty() {
             return Err(GclError::NoInitialState);
         }
+        let (fwd_off, fwd_to) = stitch_csr(total, &chunks, plain_parts);
+        let (union_off, union_to) = stitch_csr(total, &chunks, union_parts);
         let plain = FiniteSystem::from_csr(total, init_set.clone(), fwd_off, fwd_to)?;
 
         if ncmd == 0 {
@@ -679,6 +758,82 @@ impl Program {
         ))
     }
 
+    /// One chunk of the sharded fair sweep: plain and union rows for
+    /// `range` (chunk-relative offsets), init bits as raw blocks, and
+    /// each command's component targets written into `cols` (this
+    /// chunk's slice of each component column).
+    fn fair_chunk(
+        &self,
+        layout: &Layout,
+        range: Range<usize>,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+        mut cols: Vec<&mut [usize]>,
+    ) -> Result<FairChunk, GclError> {
+        let len = range.len();
+        let ncmd = self.commands.len();
+        let mut off = vec![0usize; len + 1];
+        let mut to: Vec<usize> = Vec::with_capacity(len.saturating_mul(2));
+        let mut union_off = vec![0usize; len + 1];
+        let mut union_to: Vec<usize> = Vec::with_capacity(len.saturating_mul(2));
+        let mut init_blocks = vec![0u64; len.div_ceil(64)];
+        let mut row: Vec<usize> = Vec::with_capacity(ncmd.max(1));
+        let mut view = State::new(layout);
+        view.load(range.start as u64);
+        for (local, state) in range.enumerate() {
+            if init(&view) {
+                init_blocks[local / 64] |= 1u64 << (local % 64);
+            }
+            row.clear();
+            let mut enabled = 0usize;
+            for (index, command) in self.commands.iter().enumerate() {
+                cols[index][local] = if command.enabled(&view) {
+                    view.begin_effect();
+                    command.apply(&mut view);
+                    let target = narrow(
+                        view.finish_effect()
+                            .map_err(|()| self.out_of_domain(index))?,
+                    );
+                    row.push(target);
+                    enabled += 1;
+                    target
+                } else {
+                    state
+                };
+            }
+            if row.is_empty() {
+                row.push(state);
+            }
+            row.sort_unstable();
+            row.dedup();
+            to.extend_from_slice(&row);
+            off[local + 1] = to.len();
+            if enabled == ncmd {
+                union_to.extend_from_slice(&row);
+            } else {
+                // Some command is disabled (or none are enabled, in which
+                // case the stutter row already equals `[state]`): the
+                // union gains the skip self-loop.
+                match row.binary_search(&state) {
+                    Ok(_) => union_to.extend_from_slice(&row),
+                    Err(pos) => {
+                        union_to.extend_from_slice(&row[..pos]);
+                        union_to.push(state);
+                        union_to.extend_from_slice(&row[pos..]);
+                    }
+                }
+            }
+            union_off[local + 1] = union_to.len();
+            view.advance();
+        }
+        Ok(FairChunk {
+            off,
+            to,
+            union_off,
+            union_to,
+            init_blocks,
+        })
+    }
+
     /// Compiles only the init-reachable fragment of the state space by
     /// interned frontier BFS over packed words: states are discovered
     /// from the initial predicate outward and renumbered densely in
@@ -687,48 +842,129 @@ impl Program {
     /// never pay for the full domain product.
     ///
     /// The full space is still *scanned once* (cheaply, no guard
-    /// evaluation) to enumerate the states matching `init`.
+    /// evaluation) to enumerate the states matching `init`; large
+    /// spaces shard that scan, and the BFS expands large levels in
+    /// parallel while merging rows in queue order — the dense
+    /// numbering and edge list are bit-identical to the serial
+    /// compiler's for every worker count.
     ///
     /// # Errors
     ///
     /// See [`GclError`].
     pub fn compile_reachable(
         &self,
-        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
     ) -> Result<ReachableProgram, GclError> {
         let layout = self.layout()?;
+        let workers = default_workers(narrow(layout.total));
+        self.compile_reachable_with(layout, workers, &init)
+    }
+
+    /// [`compile_reachable`](Self::compile_reachable) with an explicit
+    /// worker count (`workers <= 1` runs fully serial). Output is
+    /// identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn compile_reachable_on(
+        &self,
+        workers: usize,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<ReachableProgram, GclError> {
+        let layout = self.layout()?;
+        self.compile_reachable_with(layout, workers, &init)
+    }
+
+    fn compile_reachable_with(
+        &self,
+        layout: Layout,
+        workers: usize,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<ReachableProgram, GclError> {
         let total = narrow(layout.total);
-        let mut ids: HashMap<u64, usize> = HashMap::new();
+        let workers = workers.max(1);
+        let layout_ref = &layout;
+
+        // Init scan, sharded: concatenating the chunks in order
+        // reproduces the serial ascending-word enumeration exactly.
+        let init_tasks: Vec<_> = chunk_ranges(total, workers, CHUNK_ALIGN)
+            .into_iter()
+            .map(|range| {
+                move || {
+                    let mut found: Vec<u64> = Vec::new();
+                    let mut view = State::new(layout_ref);
+                    view.load(range.start as u64);
+                    for _ in range {
+                        if init(&view) {
+                            found.push(view.word);
+                        }
+                        view.advance();
+                    }
+                    found
+                }
+            })
+            .collect();
         let mut words: Vec<u64> = Vec::new();
-        let mut view = State::new(&layout);
-        for _ in 0..total {
-            if init(&view) {
-                ids.insert(view.word, words.len());
-                words.push(view.word);
-            }
-            view.advance();
+        for part in join_all(init_tasks) {
+            words.extend(part);
         }
         if words.is_empty() {
             return Err(GclError::NoInitialState);
         }
+        let mut ids: HashMap<u64, usize> =
+            words.iter().enumerate().map(|(id, &w)| (w, id)).collect();
         let num_init = words.len();
 
+        // Level-synchronized BFS: each level is a contiguous slice of
+        // the discovery queue. Workers expand disjoint sub-slices and
+        // the rows are interned in queue order, which reproduces the
+        // serial FIFO discovery order (hence dense ids, words, and
+        // edges) bit for bit.
         let mut edges: Vec<(usize, usize)> = Vec::new();
         let mut row: Vec<usize> = Vec::with_capacity(self.commands.len().max(1));
-        let mut cursor = 0usize;
-        while cursor < words.len() {
-            let word = words[cursor];
-            view.load(word);
-            self.successor_row(&mut view, &mut row)
-                .map_err(|c| self.out_of_domain(c))?;
-            for &target in &row {
-                let next = *ids.entry(target as u64).or_insert_with(|| {
-                    words.push(target as u64);
-                    words.len() - 1
-                });
-                edges.push((cursor, next));
+        let mut view = State::new(layout_ref);
+        let mut level_start = 0usize;
+        while level_start < words.len() {
+            let level_end = words.len();
+            if workers <= 1 || level_end - level_start < REACH_LEVEL_MIN {
+                for cursor in level_start..level_end {
+                    view.load(words[cursor]);
+                    self.successor_row(&mut view, &mut row)
+                        .map_err(|c| self.out_of_domain(c))?;
+                    intern_row(&mut ids, &mut words, &mut edges, cursor, &row);
+                }
+            } else {
+                let level = &words[level_start..level_end];
+                let tasks: Vec<_> = chunk_ranges(level.len(), workers, 1)
+                    .into_iter()
+                    .map(|chunk| {
+                        let slice = &level[chunk];
+                        move || self.expand_level_chunk(layout_ref, slice)
+                    })
+                    .collect();
+                let results = join_all(tasks);
+                let mut cursor = level_start;
+                for result in results {
+                    // First error in chunk order = first error in queue
+                    // order = the serial compiler's error.
+                    let (counts, targets) = result?;
+                    let mut at = 0usize;
+                    for count in counts {
+                        intern_row(
+                            &mut ids,
+                            &mut words,
+                            &mut edges,
+                            cursor,
+                            &targets[at..at + count],
+                        );
+                        at += count;
+                        cursor += 1;
+                    }
+                }
+                debug_assert_eq!(cursor, level_end);
             }
-            cursor += 1;
+            level_start = level_end;
         }
 
         let system = FiniteSystem::builder(words.len())
@@ -741,6 +977,28 @@ impl Program {
             var_info: self.vars.clone(),
             layout,
         })
+    }
+
+    /// Expands one slice of a BFS level: per-state successor-row
+    /// lengths plus the flattened targets, for in-order interning by
+    /// the caller.
+    fn expand_level_chunk(
+        &self,
+        layout: &Layout,
+        slice: &[u64],
+    ) -> Result<(Vec<usize>, Vec<usize>), GclError> {
+        let mut counts: Vec<usize> = Vec::with_capacity(slice.len());
+        let mut targets: Vec<usize> = Vec::new();
+        let mut row: Vec<usize> = Vec::with_capacity(self.commands.len().max(1));
+        let mut view = State::new(layout);
+        for &word in slice {
+            view.load(word);
+            self.successor_row(&mut view, &mut row)
+                .map_err(|c| self.out_of_domain(c))?;
+            counts.push(row.len());
+            targets.extend_from_slice(&row);
+        }
+        Ok((counts, targets))
     }
 
     /// Decides, in streaming fashion, whether the weakly fair composition
@@ -765,15 +1023,42 @@ impl Program {
     ///
     /// See [`GclError`]; programs with no commands are rejected like
     /// [`FairComposition::new`] rejects empty compositions.
+    pub fn fair_self_check(
+        &self,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<FairSelfReport, GclError> {
+        let layout = self.layout()?;
+        let workers = default_workers(narrow(layout.total));
+        self.fair_self_check_with(&layout, workers, &init)
+    }
+
+    /// [`fair_self_check`](Self::fair_self_check) with an explicit
+    /// worker count (`workers <= 1` runs the serial sweeps, the serial
+    /// reachability closure, and sequential Tarjan on the calling
+    /// thread). The report is identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn fair_self_check_on(
+        &self,
+        workers: usize,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<FairSelfReport, GclError> {
+        let layout = self.layout()?;
+        self.fair_self_check_with(&layout, workers, &init)
+    }
+
     // Every `as u32` below is in range by the upfront guard: states and
     // edge counts are bounded by `total * (ncmd + 1)`, which is checked
     // against `u32::MAX` before the sweeps start.
     #[allow(clippy::cast_possible_truncation)]
-    pub fn fair_self_check(
+    fn fair_self_check_with(
         &self,
-        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool,
+        layout: &Layout,
+        workers: usize,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
     ) -> Result<FairSelfReport, GclError> {
-        let layout = self.layout()?;
         let total = narrow(layout.total);
         let ncmd = self.commands.len();
         if ncmd == 0 {
@@ -789,16 +1074,217 @@ impl Program {
                 max: narrow(u64::from(u32::MAX) / (ncmd as u64 + 1)),
             });
         }
+        let workers = workers.max(1);
+        let chunks = chunk_ranges(total, workers, CHUNK_ALIGN);
 
-        // Sweep 1: the union graph (every enabled command's target, plus
-        // a skip self-loop wherever some command is disabled), staged per
-        // row into 32-bit CSR arrays; initial states on the side.
-        let mut off = vec![0u32; total + 1];
-        let mut to: Vec<u32> = Vec::with_capacity(total.saturating_mul(2));
+        // Sweep 1, sharded: the union graph (every enabled command's
+        // target, plus a skip self-loop wherever some command is
+        // disabled) as per-chunk 32-bit CSR segments; stitching in
+        // chunk order makes the arrays bit-identical to the serial
+        // sweep's, and the seed list ascending like the serial one.
+        let union_tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                move || self.union_rows_chunk(layout, range, init)
+            })
+            .collect();
+        let union_parts: Vec<UnionChunk> = join_all(union_tasks)
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        let (off, to, init_seeds) = if union_parts.len() == 1 {
+            let part = union_parts.into_iter().next().expect("one part");
+            (part.off, part.to, part.init_seeds)
+        } else {
+            let num_edges: usize = union_parts.iter().map(|p| p.to.len()).sum();
+            let mut off = vec![0u32; total + 1];
+            let mut to: Vec<u32> = Vec::with_capacity(num_edges);
+            let mut init_seeds: Vec<usize> = Vec::new();
+            for (range, part) in chunks.iter().zip(union_parts) {
+                let base = to.len() as u32;
+                for (local, state) in range.clone().enumerate() {
+                    off[state + 1] = base + part.off[local + 1];
+                }
+                to.extend(part.to);
+                init_seeds.extend(part.init_seeds);
+            }
+            (off, to, init_seeds)
+        };
+        if init_seeds.is_empty() {
+            return Err(GclError::NoInitialState);
+        }
+
+        // Legitimate set: closure of the initial states. Self-loops never
+        // change reachability, so the union rows decide it exactly as the
+        // plain compilation would. One worker keeps the serial DFS;
+        // otherwise a level-synchronized BFS computes the same set.
+        let legitimate = if workers > 1 {
+            par::reach(
+                &U32Graph::forward(&off, &to),
+                workers,
+                init_seeds.iter().copied(),
+                None,
+                false,
+            )
+        } else {
+            let mut legitimate = StateSet::with_capacity(total);
+            let mut frontier: Vec<usize> = Vec::new();
+            for &seed in &init_seeds {
+                if legitimate.insert(seed) {
+                    frontier.push(seed);
+                }
+            }
+            while let Some(state) = frontier.pop() {
+                for &next in &to[off[state] as usize..off[state + 1] as usize] {
+                    if legitimate.insert(next as usize) {
+                        frontier.push(next as usize);
+                    }
+                }
+            }
+            legitimate
+        };
+
+        // SCC ids: sequential Tarjan at one worker (also the
+        // differential oracle); FB-Trim over forward + reverse rows
+        // otherwise. The engines label components differently, but
+        // everything below is label-invariant (per-SCC aggregation,
+        // same-SCC tests), so the report does not depend on the engine.
+        let (scc_id, scc_count) = if workers > 1 {
+            let (roff, rto) = par::reverse_u32(total, &off, &to);
+            par::fb_trim(&U32Graph::with_reverse(&off, &to, &roff, &rto), workers)
+        } else {
+            tarjan_u32(total, &off, &to)
+        };
+
+        // Sweep 2: how many commands can act inside each union SCC. An
+        // edge acts inside iff both endpoints share the SCC; a disabled
+        // command's skip (s, s) always does. This sweep visits states
+        // (not commands) outermost, so deduplication needs a full
+        // per-(SCC, command) bitmask — a last-command-seen marker would
+        // recount commands across states of the same SCC.
+        let words = ncmd.div_ceil(64);
+        let mut seen_cmd = vec![0u64; scc_count * words];
+        let mut present = vec![0u32; scc_count];
+        if chunks.len() == 1 {
+            // Serial fallback: aggregate in place, no staging.
+            let mut view = State::new(layout);
+            for state in 0..total {
+                let id = scc_id[state] as usize;
+                for (index, command) in self.commands.iter().enumerate() {
+                    let inside = if command.enabled(&view) {
+                        view.begin_effect();
+                        command.apply(&mut view);
+                        let target = view
+                            .finish_effect()
+                            .map_err(|()| self.out_of_domain(index))?;
+                        scc_id[target as usize] == scc_id[state]
+                    } else {
+                        true
+                    };
+                    if inside {
+                        let word = &mut seen_cmd[id * words + index / 64];
+                        let mask = 1u64 << (index % 64);
+                        if *word & mask == 0 {
+                            *word |= mask;
+                            present[id] += 1;
+                        }
+                    }
+                }
+                view.advance();
+            }
+        } else {
+            // Sharded: each chunk stages a per-state bitmask of the
+            // commands acting inside that state's SCC; a serial fold
+            // then aggregates distinct commands per SCC, visiting
+            // states in exactly the serial sweep's order.
+            let scc_ref: &[u32] = &scc_id;
+            let mask_tasks: Vec<_> = chunks
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    move || self.inside_masks_chunk(layout, range, words, scc_ref)
+                })
+                .collect();
+            let mask_parts: Vec<Vec<u64>> =
+                join_all(mask_tasks).into_iter().collect::<Result<_, _>>()?;
+            let mut state = 0usize;
+            for part in &mask_parts {
+                for masks in part.chunks_exact(words) {
+                    let id = scc_id[state] as usize;
+                    for (w, &mask) in masks.iter().enumerate() {
+                        let slot = &mut seen_cmd[id * words + w];
+                        let fresh = mask & !*slot;
+                        if fresh != 0 {
+                            *slot |= fresh;
+                            present[id] += fresh.count_ones();
+                        }
+                    }
+                    state += 1;
+                }
+            }
+            debug_assert_eq!(state, total);
+        }
+        drop(seen_cmd);
+
+        // Scan: a divergent edge (one endpoint illegitimate) inside a
+        // fully represented SCC hosts a fair violating computation.
+        // Chunks scan disjoint state ranges; the first hit in chunk
+        // order is the first hit in state order — the serial witness.
+        let ncmd = ncmd as u32;
+        let scan_tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                let (off, to, scc_id, present, legitimate) =
+                    (&off, &to, &scc_id, &present, &legitimate);
+                move || -> Option<(usize, usize)> {
+                    for state in range {
+                        let id = scc_id[state];
+                        if present[id as usize] != ncmd {
+                            continue;
+                        }
+                        for &next in &to[off[state] as usize..off[state + 1] as usize] {
+                            if scc_id[next as usize] == id
+                                && !(legitimate.contains(state)
+                                    && legitimate.contains(next as usize))
+                            {
+                                return Some((state, next as usize));
+                            }
+                        }
+                    }
+                    None
+                }
+            })
+            .collect();
+        let divergent_witness = join_all(scan_tasks).into_iter().flatten().next();
+
+        Ok(FairSelfReport {
+            num_states: total,
+            legitimate,
+            divergent_witness,
+        })
+    }
+
+    /// Sweep-1 worker of [`fair_self_check`](Self::fair_self_check):
+    /// union rows for `range` with chunk-relative 32-bit offsets, plus
+    /// the chunk's initial states (absolute, ascending).
+    // Row offsets and state ids fit `u32` by the caller's upfront guard.
+    #[allow(clippy::cast_possible_truncation)]
+    fn union_rows_chunk(
+        &self,
+        layout: &Layout,
+        range: Range<usize>,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<UnionChunk, GclError> {
+        let len = range.len();
+        let ncmd = self.commands.len();
+        let mut off = vec![0u32; len + 1];
+        let mut to: Vec<u32> = Vec::with_capacity(len.saturating_mul(2));
         let mut init_seeds: Vec<usize> = Vec::new();
         let mut row: Vec<usize> = Vec::with_capacity(ncmd + 1);
-        let mut view = State::new(&layout);
-        for state in 0..total {
+        let mut view = State::new(layout);
+        view.load(range.start as u64);
+        for (local, state) in range.enumerate() {
             if init(&view) {
                 init_seeds.push(state);
             }
@@ -824,45 +1310,32 @@ impl Program {
             for &target in &row {
                 to.push(target as u32);
             }
-            off[state + 1] = to.len() as u32;
+            off[local + 1] = to.len() as u32;
             view.advance();
         }
-        if init_seeds.is_empty() {
-            return Err(GclError::NoInitialState);
-        }
+        Ok(UnionChunk {
+            off,
+            to,
+            init_seeds,
+        })
+    }
 
-        // Legitimate set: closure of the initial states. Self-loops never
-        // change reachability, so the union rows decide it exactly as the
-        // plain compilation would.
-        let mut legitimate = StateSet::with_capacity(total);
-        let mut frontier: Vec<usize> = Vec::new();
-        for &seed in &init_seeds {
-            if legitimate.insert(seed) {
-                frontier.push(seed);
-            }
-        }
-        while let Some(state) = frontier.pop() {
-            for &next in &to[off[state] as usize..off[state + 1] as usize] {
-                if legitimate.insert(next as usize) {
-                    frontier.push(next as usize);
-                }
-            }
-        }
-
-        let (scc_id, scc_count) = tarjan_u32(total, &off, &to);
-
-        // Sweep 2: how many commands can act inside each union SCC. An
-        // edge acts inside iff both endpoints share the SCC; a disabled
-        // command's skip (s, s) always does. This sweep visits states
-        // (not commands) outermost, so deduplication needs a full
-        // per-(SCC, command) bitmask — a last-command-seen marker would
-        // recount commands across states of the same SCC.
-        let words = ncmd.div_ceil(64);
-        let mut seen_cmd = vec![0u64; scc_count * words];
-        let mut present = vec![0u32; scc_count];
-        let mut view = State::new(&layout);
-        for state in 0..total {
-            let id = scc_id[state] as usize;
+    /// Sweep-2 worker of [`fair_self_check`](Self::fair_self_check):
+    /// for each state of `range`, the bitmask of commands whose edge
+    /// stays inside the state's SCC (a disabled command's skip always
+    /// does). `words` is `ncmd.div_ceil(64)`.
+    fn inside_masks_chunk(
+        &self,
+        layout: &Layout,
+        range: Range<usize>,
+        words: usize,
+        scc_id: &[u32],
+    ) -> Result<Vec<u64>, GclError> {
+        let mut masks = vec![0u64; range.len() * words];
+        let mut view = State::new(layout);
+        view.load(range.start as u64);
+        for (local, state) in range.enumerate() {
+            let id = scc_id[state];
             for (index, command) in self.commands.iter().enumerate() {
                 let inside = if command.enabled(&view) {
                     view.begin_effect();
@@ -870,47 +1343,126 @@ impl Program {
                     let target = view
                         .finish_effect()
                         .map_err(|()| self.out_of_domain(index))?;
-                    scc_id[target as usize] == scc_id[state]
+                    scc_id[narrow(target)] == id
                 } else {
                     true
                 };
                 if inside {
-                    let word = &mut seen_cmd[id * words + index / 64];
-                    let mask = 1u64 << (index % 64);
-                    if *word & mask == 0 {
-                        *word |= mask;
-                        present[id] += 1;
-                    }
+                    masks[local * words + index / 64] |= 1u64 << (index % 64);
                 }
             }
             view.advance();
         }
-        drop(seen_cmd);
+        Ok(masks)
+    }
+}
 
-        // Scan: a divergent edge (one endpoint illegitimate) inside a
-        // fully represented SCC hosts a fair violating computation.
-        let ncmd = ncmd as u32;
-        let mut divergent_witness = None;
-        'scan: for state in 0..total {
-            let id = scc_id[state];
-            if present[id as usize] != ncmd {
-                continue;
-            }
-            for &next in &to[off[state] as usize..off[state + 1] as usize] {
-                if scc_id[next as usize] == id
-                    && !(legitimate.contains(state) && legitimate.contains(next as usize))
-                {
-                    divergent_witness = Some((state, next as usize));
-                    break 'scan;
-                }
-            }
+/// Worker count for a default (non-`_on`) compile entry point: the
+/// full crew when the space is large enough to amortize thread
+/// startup and stitching, one otherwise.
+fn default_workers(total: usize) -> usize {
+    if total >= par::PAR_MIN_STATES {
+        available_workers()
+    } else {
+        1
+    }
+}
+
+/// Alignment of sharded sweep chunk boundaries: 64 keeps every chunk's
+/// initial-state bits in bitset blocks no other chunk touches.
+const CHUNK_ALIGN: usize = 64;
+
+/// A BFS level of [`Program::compile_reachable`] is expanded in
+/// parallel only when it has at least this many states; smaller levels
+/// run inline on the caller.
+const REACH_LEVEL_MIN: usize = 1 << 10;
+
+/// One chunk of a sharded plain compile: row offsets relative to the
+/// chunk (`off[0] == 0`), absolute targets, and the chunk's init bits
+/// as raw 64-aligned blocks.
+struct PlainChunk {
+    off: Vec<usize>,
+    to: Vec<usize>,
+    init_blocks: Vec<u64>,
+}
+
+/// One chunk of the sharded fair sweep: plain rows, union rows, init
+/// bits. Component columns are written in place through borrowed
+/// slices, so they need no chunk output.
+struct FairChunk {
+    off: Vec<usize>,
+    to: Vec<usize>,
+    union_off: Vec<usize>,
+    union_to: Vec<usize>,
+    init_blocks: Vec<u64>,
+}
+
+/// One chunk of the sharded `fair_self_check` union sweep.
+struct UnionChunk {
+    off: Vec<u32>,
+    to: Vec<u32>,
+    init_seeds: Vec<usize>,
+}
+
+/// Stitches per-chunk relative CSR rows into one global CSR by
+/// prefix-sum offsets; the single-chunk (serial fallback) case moves
+/// the arrays through unchanged.
+fn stitch_csr(
+    total: usize,
+    chunks: &[Range<usize>],
+    parts: Vec<(Vec<usize>, Vec<usize>)>,
+) -> (Vec<usize>, Vec<usize>) {
+    debug_assert_eq!(chunks.len(), parts.len());
+    if parts.len() == 1 {
+        let (off, to) = parts.into_iter().next().expect("one part");
+        return (off, to);
+    }
+    let num_edges: usize = parts.iter().map(|(_, to)| to.len()).sum();
+    let mut off = vec![0usize; total + 1];
+    let mut to: Vec<usize> = Vec::with_capacity(num_edges);
+    for (range, (part_off, part_to)) in chunks.iter().zip(parts) {
+        let base = to.len();
+        for (local, state) in range.clone().enumerate() {
+            off[state + 1] = base + part_off[local + 1];
         }
+        to.extend(part_to);
+    }
+    (off, to)
+}
 
-        Ok(FairSelfReport {
-            num_states: total,
-            legitimate,
-            divergent_witness,
-        })
+/// Assembles the initial-state set from per-chunk bit blocks. Chunks
+/// start at multiples of 64, so each chunk's blocks are disjoint from
+/// every other chunk's.
+fn stitch_init(total: usize, chunks: &[Range<usize>], parts: Vec<Vec<u64>>) -> StateSet {
+    debug_assert_eq!(chunks.len(), parts.len());
+    if parts.len() == 1 {
+        return StateSet::from_blocks(parts.into_iter().next().expect("one part"));
+    }
+    let mut init_set = StateSet::with_capacity(total);
+    let blocks = init_set.blocks_mut();
+    for (range, part) in chunks.iter().zip(parts) {
+        let base = range.start / 64;
+        blocks[base..base + part.len()].copy_from_slice(&part);
+    }
+    init_set
+}
+
+/// Appends one discovered successor row to the interned BFS state of
+/// [`Program::compile_reachable`]: new targets get the next dense id
+/// in row order — the serial FIFO discovery order.
+fn intern_row(
+    ids: &mut HashMap<u64, usize>,
+    words: &mut Vec<u64>,
+    edges: &mut Vec<(usize, usize)>,
+    cursor: usize,
+    row: &[usize],
+) {
+    for &target in row {
+        let next = *ids.entry(target as u64).or_insert_with(|| {
+            words.push(target as u64);
+            words.len() - 1
+        });
+        edges.push((cursor, next));
     }
 }
 
@@ -920,7 +1472,7 @@ impl Program {
 // State ids fit `u32`: the caller (`fair_self_check`) rejects state
 // spaces beyond `u32::MAX` before building the 32-bit CSR.
 #[allow(clippy::cast_possible_truncation)]
-fn tarjan_u32(num_states: usize, off: &[u32], to: &[u32]) -> (Vec<u32>, usize) {
+pub(crate) fn tarjan_u32(num_states: usize, off: &[u32], to: &[u32]) -> (Vec<u32>, usize) {
     const UNSET: u32 = u32::MAX;
     let mut index = vec![UNSET; num_states];
     let mut low = vec![0u32; num_states];

@@ -50,6 +50,7 @@ pub mod fairness;
 pub mod figure1;
 pub mod gcl;
 pub mod method;
+mod par;
 pub mod randsys;
 pub mod reference;
 mod relations;

@@ -69,14 +69,29 @@ impl std::error::Error for SystemError {}
 /// offsets, plus a lazily mirrored reverse CSR for predecessor queries.
 /// State sets (initial states, reachability closures) are dense
 /// [`StateSet`] bitsets. Two closures every relation check needs — the init-reachable
-/// set and the strongly-connected-component id of every state (iterative
-/// Tarjan, so SCC ids come out in reverse topological order) — are
+/// set and the strongly-connected-component id of every state (in
+/// reverse topological order) — are
 /// computed lazily on first use and cached, in `O(V + E)` total. Both are
 /// pure functions of `(init, edges)`, so laziness never changes a query
 /// result, equality stays well-defined (caches are excluded from `==`),
 /// and systems that are only ever *composed* — e.g. the per-command
 /// components of a fair compilation — never pay for caches they do not
 /// read.
+///
+/// # Concurrency
+///
+/// The lazy caches live in [`std::sync::OnceLock`]s, so every getter —
+/// [`scc_ids`](Self::scc_ids), [`predecessors_slice`](Self::predecessors_slice),
+/// [`reachable_from_init`](Self::reachable_from_init) and friends — is
+/// safe under **concurrent first access** through a shared `&FiniteSystem`:
+/// exactly one thread computes the cache, the others block until it is
+/// ready, and all observe the same value. Sweep workers can therefore
+/// share one compiled system immutably without any pre-warming ritual
+/// (pre-touching a cache before a fan-out merely avoids the momentary
+/// pile-up on the lock). On machines with more than one core, systems
+/// with at least `2^17` states compute their reachability closures and
+/// SCC ids with the parallel engines of this crate (level-synchronized
+/// BFS, FB-Trim); the values are identical to the sequential ones.
 ///
 /// # Example
 ///
@@ -339,8 +354,34 @@ impl FiniteSystem {
     }
 
     /// States reachable from the given seed set by following transitions
-    /// (the seeds themselves included).
+    /// (the seeds themselves included). On multi-core machines, systems
+    /// with at least `2^17` states fan the walk out across workers (see
+    /// [`reachable_from_on`](Self::reachable_from_on)); the resulting
+    /// set is identical either way.
     pub fn reachable_from(&self, seeds: impl IntoIterator<Item = usize>) -> StateSet {
+        let workers = if self.num_states >= crate::par::PAR_MIN_STATES {
+            crate::sweep::available_workers()
+        } else {
+            1
+        };
+        self.reachable_from_on(workers, seeds)
+    }
+
+    /// [`reachable_from`](Self::reachable_from) with an explicit worker
+    /// count: at `workers <= 1` the sequential stack-based walk runs
+    /// (the ≤1-core fallback), otherwise a level-synchronized parallel
+    /// BFS expands each frontier level across workers into per-worker
+    /// buffers merged at the level barrier. Both engines produce the
+    /// same closure; the benchmark harness uses the explicit form for
+    /// scaling measurements.
+    pub fn reachable_from_on(
+        &self,
+        workers: usize,
+        seeds: impl IntoIterator<Item = usize>,
+    ) -> StateSet {
+        if workers > 1 {
+            return crate::par::reach(&crate::par::SysGraph(self), workers, seeds, None, false);
+        }
         let mut seen = StateSet::with_capacity(self.num_states);
         let mut frontier: Vec<usize> = Vec::new();
         for seed in seeds {
@@ -366,9 +407,15 @@ impl FiniteSystem {
     }
 
     /// The strongly-connected-component id of every state, indexed by
-    /// state. Ids are assigned in Tarjan completion order, so they are in
-    /// reverse topological order of the condensation. Computed on first
-    /// use and cached.
+    /// state. Ids are in reverse topological order of the condensation
+    /// (sinks get lower ids than their predecessors). Computed on first
+    /// use and cached; concurrent first access is safe (see the type's
+    /// Concurrency section). The sequential engine (iterative Tarjan)
+    /// assigns ids in completion order; the parallel engine (FB-Trim,
+    /// engaged on multi-core machines at `2^17`+ states) relabels its
+    /// partition into the canonical reverse topological order — both
+    /// satisfy the ordering promise and always induce the same
+    /// partition.
     ///
     /// An edge `(u, v)` of the system lies on a cycle exactly when
     /// `scc_ids()[u] == scc_ids()[v]` — the `O(1)` test behind
@@ -380,6 +427,30 @@ impl FiniteSystem {
     /// Number of strongly connected components.
     pub fn scc_count(&self) -> usize {
         self.sccs.get_or_init(|| self.compute_sccs()).1
+    }
+
+    /// Fresh SCC computation with an explicit engine choice, bypassing
+    /// the cache: `workers <= 1` runs the sequential iterative Tarjan
+    /// (ids in completion order), more run the parallel FB-Trim
+    /// decomposition relabeled into the canonical reverse topological
+    /// order. Both orders are reverse topological and the partitions are
+    /// always identical (the differential suites assert so). The
+    /// benchmark harness uses this for scaling measurements; everything
+    /// else should read the cached [`scc_ids`](Self::scc_ids).
+    ///
+    /// # Panics
+    ///
+    /// The parallel engine requires state and edge counts that fit
+    /// `u32`; pass `workers = 1` for anything larger.
+    pub fn sccs_on(&self, workers: usize) -> (Vec<usize>, usize) {
+        if workers <= 1 {
+            return self.compute_sccs_serial();
+        }
+        assert!(
+            u32::try_from(self.num_states).is_ok() && u32::try_from(self.edge_count()).is_ok(),
+            "parallel SCC requires 32-bit state and edge counts"
+        );
+        self.compute_sccs_parallel(workers)
     }
 
     /// True when there is a path (of length ≥ 1) from `from` to `to`.
@@ -479,8 +550,37 @@ impl FiniteSystem {
         )
     }
 
-    /// Iterative Tarjan over the CSR rows; no per-state allocation.
+    /// Engine dispatch for the lazy SCC cache: FB-Trim when more than
+    /// one worker is available and the system is big enough to amortize
+    /// the fan-out (and small enough for the 32-bit kernels), the
+    /// iterative Tarjan otherwise.
     fn compute_sccs(&self) -> (Vec<usize>, usize) {
+        let workers = crate::sweep::available_workers();
+        if workers > 1
+            && self.num_states >= crate::par::PAR_MIN_STATES
+            && u32::try_from(self.num_states).is_ok()
+            && u32::try_from(self.edge_count()).is_ok()
+        {
+            self.compute_sccs_parallel(workers)
+        } else {
+            self.compute_sccs_serial()
+        }
+    }
+
+    /// FB-Trim over forward + reverse CSR, relabeled canonically so the
+    /// documented reverse-topological order holds for any worker count.
+    fn compute_sccs_parallel(&self, workers: usize) -> (Vec<usize>, usize) {
+        // Build the reverse rows before fanning out, so workers do not
+        // pile up on the cache's OnceLock.
+        self.reverse_csr();
+        let g = crate::par::SysGraph(self);
+        let (mut ids, count) = crate::par::fb_trim(&g, workers);
+        crate::par::canonical_reverse_topo(&g, &mut ids, count);
+        (ids.into_iter().map(|id| id as usize).collect(), count)
+    }
+
+    /// Iterative Tarjan over the CSR rows; no per-state allocation.
+    fn compute_sccs_serial(&self) -> (Vec<usize>, usize) {
         let n = self.num_states;
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
@@ -955,6 +1055,74 @@ mod tests {
         let text = ring3().to_string();
         assert!(text.contains("3 states"));
         assert!(text.contains("3 edges"));
+    }
+
+    #[test]
+    fn explicit_engines_agree_with_the_cached_defaults() {
+        // A few hundred states with mixed SCC structure: three rings
+        // bridged into a chain plus stutter tails.
+        let mut builder = FiniteSystem::builder(300).initial(0);
+        for ring in 0..3usize {
+            let base = ring * 90;
+            for i in 0..90 {
+                builder = builder.edge(base + i, base + (i + 1) % 90);
+            }
+            if ring > 0 {
+                builder = builder.edge(base - 90, base);
+            }
+        }
+        let sys = builder.stutter_quiescent().build().unwrap();
+
+        let serial = sys.reachable_from_on(1, [0usize, 271]);
+        let parallel = sys.reachable_from_on(4, [0usize, 271]);
+        assert_eq!(serial, parallel);
+
+        let (ser_ids, ser_count) = sys.sccs_on(1);
+        let (par_ids, par_count) = sys.sccs_on(4);
+        assert_eq!(ser_count, par_count);
+        assert_eq!(ser_ids.len(), par_ids.len());
+        // Same partition, possibly different (but both reverse
+        // topological) labels.
+        let mut pairs = std::collections::HashMap::new();
+        for (&a, &b) in ser_ids.iter().zip(&par_ids) {
+            assert_eq!(*pairs.entry(a).or_insert(b), b);
+        }
+        // Cached getters agree with whichever engine the cache dispatch
+        // picked.
+        assert_eq!(sys.scc_count(), ser_count);
+    }
+
+    #[test]
+    fn cache_getters_are_safe_under_concurrent_first_access() {
+        // Several threads race the first access of every lazy cache
+        // through a shared reference; all must observe the same values
+        // (OnceLock computes each cache exactly once).
+        let mut builder = FiniteSystem::builder(500).initial(0);
+        for i in 0..500 {
+            builder = builder.edge(i, (i * 7 + 1) % 500).edge(i, (i + 250) % 500);
+        }
+        let sys = builder.build().unwrap();
+        let views = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (
+                            sys.scc_ids().to_vec(),
+                            sys.scc_count(),
+                            sys.reachable_from_init().clone(),
+                            sys.predecessors_slice(3).to_vec(),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for view in &views[1..] {
+            assert_eq!(view, &views[0]);
+        }
     }
 
     #[test]

@@ -201,7 +201,7 @@ fn protocol_commands(program: &mut Program, v: Vars, with_wrapper: bool) {
     }
 }
 
-fn is_init(v: Vars) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool {
+fn is_init(v: Vars) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync {
     move |s| {
         (0..2).all(|i| {
             s.get(v.m[i]) == THINKING
@@ -215,7 +215,9 @@ fn is_init(v: Vars) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool {
 /// Assembles the 2-process model as a packed [`Program`] (with or
 /// without the wrapper commands) plus its initial predicate — the unit
 /// the benchmarks time and the differential suite compares.
-pub fn program_2proc(with_wrapper: bool) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool) {
+pub fn program_2proc(
+    with_wrapper: bool,
+) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync) {
     let mut program = Program::new();
     let vars = declare(&mut program);
     protocol_commands(&mut program, vars, with_wrapper);
@@ -1045,7 +1047,7 @@ pub fn nproc_shape(n: usize, with_wrapper: bool) -> NprocShape {
 pub fn program_nproc_ir(
     n: usize,
     with_wrapper: bool,
-) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool) {
+) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync) {
     let mut program = Program::new();
     let vars = declare_n(&mut program, n);
     protocol_commands_n_ir(&mut program, &vars, with_wrapper);
@@ -1053,7 +1055,7 @@ pub fn program_nproc_ir(
     (program, is_init_n(vars))
 }
 
-fn is_init_n(v: VarsN) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool {
+fn is_init_n(v: VarsN) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync {
     move |s| {
         (0..v.n).all(|i| {
             s.get(v.m[i]) == THINKING
@@ -1069,7 +1071,7 @@ fn is_init_n(v: VarsN) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool {
 pub fn program_nproc(
     n: usize,
     with_wrapper: bool,
-) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool) {
+) -> (Program, impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync) {
     let mut program = Program::new();
     let vars = declare_n(&mut program, n);
     protocol_commands_n(&mut program, &vars, with_wrapper);
@@ -1109,7 +1111,7 @@ pub struct AbstractTmeN {
 }
 
 /// The verdicts of one exhaustive n-process check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TmeVerdicts {
     /// Size of the full state space both checks swept.
     pub num_states: usize,
@@ -1199,7 +1201,7 @@ impl AbstractTmeN {
         &self.wrapped
     }
 
-    fn init_pred(&self) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool + '_ {
+    fn init_pred(&self) -> impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync + '_ {
         let v = &self.vars;
         move |s| {
             (0..v.n).all(|i| {
@@ -1246,8 +1248,33 @@ impl AbstractTmeN {
     ///
     /// Returns [`GclError`] if compilation fails (it cannot, absent bugs).
     pub fn check(&self) -> Result<TmeVerdicts, GclError> {
-        let unwrapped_report = self.unwrapped.fair_self_check(self.init_pred())?;
-        let wrapped_report = self.wrapped.fair_self_check(self.init_pred())?;
+        self.check_with(None)
+    }
+
+    /// [`check`](Self::check) with an explicit worker count for the two
+    /// [`Program::fair_self_check_on`] runs (`workers <= 1` is fully
+    /// serial). The verdicts are identical for every worker count — the
+    /// parallel differential suite asserts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GclError`] if compilation fails (it cannot, absent bugs).
+    pub fn check_on(&self, workers: usize) -> Result<TmeVerdicts, GclError> {
+        self.check_with(Some(workers))
+    }
+
+    fn check_with(&self, workers: Option<usize>) -> Result<TmeVerdicts, GclError> {
+        let (unwrapped_report, wrapped_report) = match workers {
+            Some(workers) => (
+                self.unwrapped
+                    .fair_self_check_on(workers, self.init_pred())?,
+                self.wrapped.fair_self_check_on(workers, self.init_pred())?,
+            ),
+            None => (
+                self.unwrapped.fair_self_check(self.init_pred())?,
+                self.wrapped.fair_self_check(self.init_pred())?,
+            ),
+        };
 
         let me1 = wrapped_report.legitimate.iter().all(|state| {
             let values = self.decode(state);

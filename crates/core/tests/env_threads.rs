@@ -1,0 +1,33 @@
+//! `GRAYBOX_THREADS` override behaviour of [`available_workers`].
+//!
+//! Environment mutation is process-global, so this lives in its own
+//! integration-test binary (one `#[test]`, one process) rather than in
+//! a shared binary where concurrent tests would race on the variable.
+
+use graybox_core::sweep::available_workers;
+
+#[test]
+fn graybox_threads_env_overrides_available_workers() {
+    // Valid overrides are honored exactly.
+    std::env::set_var("GRAYBOX_THREADS", "3");
+    assert_eq!(available_workers(), 3);
+    std::env::set_var("GRAYBOX_THREADS", "1");
+    assert_eq!(available_workers(), 1);
+    std::env::set_var("GRAYBOX_THREADS", " 2 ");
+    assert_eq!(available_workers(), 2, "surrounding whitespace is trimmed");
+
+    // Absurd requests are capped rather than spawning a thread army.
+    std::env::set_var("GRAYBOX_THREADS", "999999");
+    assert_eq!(available_workers(), 256);
+
+    // Zero and garbage fall through to hardware detection (>= 1).
+    std::env::set_var("GRAYBOX_THREADS", "0");
+    let fallback = available_workers();
+    assert!(fallback >= 1);
+    std::env::set_var("GRAYBOX_THREADS", "banana");
+    assert_eq!(available_workers(), fallback);
+
+    // Unset matches the hardware fallback as well.
+    std::env::remove_var("GRAYBOX_THREADS");
+    assert_eq!(available_workers(), fallback);
+}

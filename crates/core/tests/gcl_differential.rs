@@ -9,163 +9,13 @@
 //! `is_stabilizing_to` verdicts, and the streaming `fair_self_check`
 //! verdict against the materialized fair-composition check.
 
-use graybox_core::gcl::reference::{Program as RefProgram, Valuation};
-use graybox_core::gcl::{Program, State, VarRef};
+mod common;
+
+use common::{build_packed, build_reference, packed_init, random_spec};
+use graybox_core::gcl::reference::Valuation;
 use graybox_core::is_stabilizing_to;
 use graybox_core::sweep::sweep_seeds;
 use graybox_core::synthesis::stutter_closure;
-use graybox_rng::rngs::SmallRng;
-use graybox_rng::{Rng, SeedableRng};
-
-/// One guard conjunct, over variable indices into the spec's domain list.
-#[derive(Clone, Debug)]
-enum Atom {
-    LtConst(usize, usize),
-    EqConst(usize, usize),
-    NeVar(usize, usize),
-}
-
-/// One assignment; generated so the target always stays in its domain.
-#[derive(Clone, Debug)]
-enum Assign {
-    Const(usize, usize),
-    /// `dst = src`, generated only when `dom(src) <= dom(dst)`.
-    Copy {
-        dst: usize,
-        src: usize,
-    },
-    /// `dst = (dst + 1) % modulus`, with `modulus = dom(dst)`.
-    IncMod(usize, usize),
-}
-
-#[derive(Clone, Debug)]
-struct CmdSpec {
-    atoms: Vec<Atom>,
-    assigns: Vec<Assign>,
-}
-
-/// A DSL-independent program description; both compilers instantiate it
-/// with identical variable order and command order.
-#[derive(Clone, Debug)]
-struct ProgramSpec {
-    domains: Vec<usize>,
-    commands: Vec<CmdSpec>,
-    /// Initial states: `x0 < init_below`.
-    init_below: usize,
-}
-
-fn random_spec(seed: u64) -> ProgramSpec {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let nvars = rng.gen_range(1..5usize);
-    let domains: Vec<usize> = (0..nvars).map(|_| rng.gen_range(1..6usize)).collect();
-    let ncmd = rng.gen_range(0..6usize);
-    let commands = (0..ncmd)
-        .map(|_| {
-            let atoms = (0..rng.gen_range(1..3usize))
-                .map(|_| {
-                    let v = rng.gen_range(0..nvars);
-                    match rng.gen_range(0..3usize) {
-                        0 => Atom::LtConst(v, rng.gen_range(0..domains[v] + 1)),
-                        1 => Atom::EqConst(v, rng.gen_range(0..domains[v])),
-                        _ => Atom::NeVar(v, rng.gen_range(0..nvars)),
-                    }
-                })
-                .collect();
-            let assigns = (0..rng.gen_range(1..3usize))
-                .map(|_| {
-                    let dst = rng.gen_range(0..nvars);
-                    match rng.gen_range(0..3usize) {
-                        0 => Assign::Const(dst, rng.gen_range(0..domains[dst])),
-                        1 => {
-                            let fits: Vec<usize> =
-                                (0..nvars).filter(|&s| domains[s] <= domains[dst]).collect();
-                            Assign::Copy {
-                                dst,
-                                src: fits[rng.gen_range(0..fits.len())],
-                            }
-                        }
-                        _ => Assign::IncMod(dst, domains[dst]),
-                    }
-                })
-                .collect();
-            CmdSpec { atoms, assigns }
-        })
-        .collect();
-    let init_below = rng.gen_range(1..domains[0] + 1);
-    ProgramSpec {
-        domains,
-        commands,
-        init_below,
-    }
-}
-
-fn build_packed(spec: &ProgramSpec) -> (Program, Vec<VarRef>) {
-    let mut program = Program::new();
-    let vars: Vec<VarRef> = spec
-        .domains
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| program.var(format!("x{i}"), d))
-        .collect();
-    for (ci, cmd) in spec.commands.iter().enumerate() {
-        let (atoms, gv) = (cmd.atoms.clone(), vars.clone());
-        let (assigns, av) = (cmd.assigns.clone(), vars.clone());
-        program.command(
-            format!("c{ci}"),
-            move |s: &State| {
-                atoms.iter().all(|atom| match *atom {
-                    Atom::LtConst(v, c) => s.get(gv[v]) < c,
-                    Atom::EqConst(v, c) => s.get(gv[v]) == c,
-                    Atom::NeVar(v, w) => s.get(gv[v]) != s.get(gv[w]),
-                })
-            },
-            move |s: &mut State| {
-                for assign in &assigns {
-                    match *assign {
-                        Assign::Const(dst, c) => s.set(av[dst], c),
-                        Assign::Copy { dst, src } => s.set(av[dst], s.get(av[src])),
-                        Assign::IncMod(dst, m) => s.set(av[dst], (s.get(av[dst]) + 1) % m),
-                    }
-                }
-            },
-        );
-    }
-    (program, vars)
-}
-
-fn build_reference(spec: &ProgramSpec) -> (RefProgram, Vec<VarRef>) {
-    let mut program = RefProgram::new();
-    let vars: Vec<VarRef> = spec
-        .domains
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| program.var(format!("x{i}"), d))
-        .collect();
-    for (ci, cmd) in spec.commands.iter().enumerate() {
-        let (atoms, gv) = (cmd.atoms.clone(), vars.clone());
-        let (assigns, av) = (cmd.assigns.clone(), vars.clone());
-        program.command(
-            format!("c{ci}"),
-            move |s: &Valuation| {
-                atoms.iter().all(|atom| match *atom {
-                    Atom::LtConst(v, c) => s[gv[v]] < c,
-                    Atom::EqConst(v, c) => s[gv[v]] == c,
-                    Atom::NeVar(v, w) => s[gv[v]] != s[gv[w]],
-                })
-            },
-            move |s: &mut Valuation| {
-                for assign in &assigns {
-                    match *assign {
-                        Assign::Const(dst, c) => s[av[dst]] = c,
-                        Assign::Copy { dst, src } => s[av[dst]] = s[av[src]],
-                        Assign::IncMod(dst, m) => s[av[dst]] = (s[av[dst]] + 1) % m,
-                    }
-                }
-            },
-        );
-    }
-    (program, vars)
-}
 
 /// Compiles one random spec through both pipelines and asserts agreement
 /// on every observable. Panics (failing the enclosing sweep) on any
@@ -175,10 +25,7 @@ fn check_seed(seed: u64) {
     let (packed, pv) = build_packed(&spec);
     let (reference, rv) = build_reference(&spec);
     let below = spec.init_below;
-    let p_init = {
-        let x0 = pv[0];
-        move |s: &State| s.get(x0) < below
-    };
+    let p_init = packed_init(&spec, &pv);
     let r_init = {
         let x0 = rv[0];
         move |s: &Valuation| s[x0] < below
