@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod incident;
 pub mod stats;
 pub mod table;
 
 pub use experiments::{all_ids, run_experiment, ExperimentResult};
+pub use incident::incident_report;

@@ -1,0 +1,295 @@
+//! The **injector registry**: maps failpoint site names to the code that
+//! injects the corresponding fault into a running campaign.
+//!
+//! The campaign runner is site-agnostic — it walks the [`FaultPlan`],
+//! looks each event's site up here, and calls the injector. Adding a
+//! fault site therefore never touches the runner: add a site constant in
+//! `graybox_simnet::failpoint`, register an injector here (or via
+//! [`InjectorRegistry::register`] for experiment-local faults), and
+//! schedule it.
+//!
+//! Every injector draws its targets (which process, which channel, which
+//! message) through [`Simulation::draw_fault_in`], so the draws land in
+//! the run's oplog and the whole injection replays bit-exactly.
+
+use std::collections::BTreeMap;
+
+use graybox_clock::{ProcessId, Timestamp};
+use graybox_rng::rngs::SmallRng;
+use graybox_simnet::{failpoint, Corruptible, Simulation};
+use graybox_tme::TmeMsg;
+
+use crate::runner::Wrapped;
+use crate::{FaultPlan, Resettable};
+
+/// An injector: applies one fault to the simulation, drawing targets from
+/// the campaign's fault RNG. Returns a human-readable description and the
+/// primarily affected process (for the trace's fault marker).
+pub type Injector = fn(&mut Simulation<Wrapped>, &mut SmallRng) -> (String, ProcessId);
+
+/// Site-name → injector table (see the module docs).
+#[derive(Debug, Clone)]
+pub struct InjectorRegistry {
+    map: BTreeMap<&'static str, Injector>,
+}
+
+impl InjectorRegistry {
+    /// An empty registry (no sites injectable).
+    pub fn empty() -> Self {
+        InjectorRegistry {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The standard registry: one injector per bundled
+    /// [`FaultKind`](crate::FaultKind) site.
+    pub fn standard() -> Self {
+        let mut registry = InjectorRegistry::empty();
+        registry.register(failpoint::CHANNEL_DROP, inject_drop);
+        registry.register(failpoint::CHANNEL_DUPLICATE, inject_duplicate);
+        registry.register(failpoint::MSG_CORRUPT, inject_corrupt_message);
+        registry.register(failpoint::MSG_INJECT, inject_garbage);
+        registry.register(failpoint::CHANNEL_FLUSH, inject_flush);
+        registry.register(failpoint::PROCESS_CORRUPT, inject_corrupt_process);
+        registry.register(failpoint::PROCESS_RESET, inject_reset);
+        registry.register(failpoint::CHANNEL_REORDER, inject_reorder);
+        registry.register(failpoint::SIM_DELAY, inject_delay_spike);
+        registry
+    }
+
+    /// Registers (or replaces) the injector for `site`.
+    pub fn register(&mut self, site: &'static str, injector: Injector) {
+        self.map.insert(site, injector);
+    }
+
+    /// The injector for `site`, if registered.
+    pub fn get(&self, site: &str) -> Option<Injector> {
+        self.map.get(site).copied()
+    }
+
+    /// Registered site names, in order.
+    pub fn sites(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Applies the fault for `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` has no registered injector — a schedule typo is
+    /// a bug in the experiment, not a runtime condition to tolerate.
+    pub fn inject(
+        &self,
+        site: &str,
+        sim: &mut Simulation<Wrapped>,
+        rng: &mut SmallRng,
+    ) -> (String, ProcessId) {
+        let injector = self
+            .get(site)
+            .unwrap_or_else(|| panic!("no injector registered for failpoint `{site}`"));
+        injector(sim, rng)
+    }
+
+    /// True when every site scheduled by `plan` has an injector.
+    pub fn covers(&self, plan: &FaultPlan) -> bool {
+        plan.events().iter().all(|e| self.get(e.site).is_some())
+    }
+}
+
+impl Default for InjectorRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Draws an index in `0..len` through the oplog layer.
+fn draw_index(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng, len: usize) -> usize {
+    debug_assert!(len > 0);
+    let hi = u64::try_from(len - 1).unwrap_or(u64::MAX);
+    usize::try_from(sim.draw_fault_in(rng, 0, hi)).expect("draw bounded by len")
+}
+
+/// Draws a process id through the oplog layer.
+fn draw_pid(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> ProcessId {
+    let n = u64::try_from(sim.len()).expect("process count fits u64");
+    ProcessId(u32::try_from(sim.draw_fault_in(rng, 0, n - 1)).expect("pid fits u32"))
+}
+
+/// Draws an ordered pair of distinct process ids (equal only at n = 1).
+fn draw_pair(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (ProcessId, ProcessId) {
+    let from = draw_pid(sim, rng);
+    let mut to = draw_pid(sim, rng);
+    if sim.len() > 1 {
+        // Rejection-sample, but bail once a replay has diverged (poisoned
+        // draws repeat the range minimum forever).
+        while to == from && !sim.replay_poisoned() {
+            to = draw_pid(sim, rng);
+        }
+        if to == from {
+            to = ProcessId((from.0 + 1) % u32::try_from(sim.len()).expect("n fits u32"));
+        }
+    }
+    (from, to)
+}
+
+/// All `(from, to, len)` channels with at least one message in flight.
+fn nonempty_channels(sim: &Simulation<Wrapped>) -> Vec<(ProcessId, ProcessId, usize)> {
+    let n = sim.len();
+    let mut result = Vec::new();
+    for from in ProcessId::all(n) {
+        for to in ProcessId::all(n) {
+            let len = sim.channel(from, to).len();
+            if len > 0 {
+                result.push((from, to, len));
+            }
+        }
+    }
+    result
+}
+
+fn inject_drop(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let channels = nonempty_channels(sim);
+    if channels.is_empty() {
+        return ("drop: no message in flight".into(), ProcessId(0));
+    }
+    let (from, to, len) = channels[draw_index(sim, rng, channels.len())];
+    let index = draw_index(sim, rng, len);
+    sim.drop_message(from, to, index);
+    (format!("drop message #{index} on {from}→{to}"), to)
+}
+
+fn inject_duplicate(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let channels = nonempty_channels(sim);
+    if channels.is_empty() {
+        return ("duplicate: no message in flight".into(), ProcessId(0));
+    }
+    let (from, to, len) = channels[draw_index(sim, rng, channels.len())];
+    let index = draw_index(sim, rng, len);
+    sim.duplicate_message(from, to, index);
+    (format!("duplicate message #{index} on {from}→{to}"), to)
+}
+
+fn inject_corrupt_message(
+    sim: &mut Simulation<Wrapped>,
+    rng: &mut SmallRng,
+) -> (String, ProcessId) {
+    let channels = nonempty_channels(sim);
+    if channels.is_empty() {
+        return ("corrupt-msg: no message in flight".into(), ProcessId(0));
+    }
+    let (from, to, len) = channels[draw_index(sim, rng, channels.len())];
+    let index = draw_index(sim, rng, len);
+    sim.corrupt_message(from, to, index);
+    (format!("corrupt message #{index} on {from}→{to}"), to)
+}
+
+fn inject_garbage(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let (from, to) = draw_pair(sim, rng);
+    let mut payload = TmeMsg::Request(Timestamp::zero(from));
+    {
+        let mut entropy = sim.fault_entropy(rng);
+        payload.corrupt(&mut entropy);
+    }
+    sim.inject_message(from, to, payload);
+    (format!("inject garbage on {from}→{to}"), to)
+}
+
+fn inject_flush(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let (from, to) = draw_pair(sim, rng);
+    let lost = sim.flush_channel(from, to);
+    (format!("flush {from}→{to} ({lost} lost)"), to)
+}
+
+fn inject_corrupt_process(
+    sim: &mut Simulation<Wrapped>,
+    rng: &mut SmallRng,
+) -> (String, ProcessId) {
+    let pid = draw_pid(sim, rng);
+    sim.corrupt_process(pid);
+    (format!("corrupt state of {pid}"), pid)
+}
+
+fn inject_reset(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let pid = draw_pid(sim, rng);
+    sim.process_mut(pid).reset();
+    // The reset site is contributed by this crate; fire it through the
+    // same registry/oplog machinery as the simnet-native sites.
+    graybox_simnet::failpoint!(sim, failpoint::PROCESS_RESET, "reset {pid} to Init");
+    (format!("fail/recover {pid} (reset to Init)"), pid)
+}
+
+fn inject_reorder(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let reorderable: Vec<_> = nonempty_channels(sim)
+        .into_iter()
+        .filter(|&(_, _, len)| len >= 2)
+        .collect();
+    if reorderable.is_empty() {
+        return ("reorder: no channel with ≥2 messages".into(), ProcessId(0));
+    }
+    let (from, to, len) = reorderable[draw_index(sim, rng, reorderable.len())];
+    let i = draw_index(sim, rng, len);
+    let mut j = draw_index(sim, rng, len);
+    while j == i && !sim.replay_poisoned() {
+        j = draw_index(sim, rng, len);
+    }
+    if j == i {
+        j = (i + 1) % len;
+    }
+    sim.reorder_messages(from, to, i, j);
+    (format!("reorder #{i}↔#{j} on {from}→{to}"), to)
+}
+
+fn inject_delay_spike(sim: &mut Simulation<Wrapped>, rng: &mut SmallRng) -> (String, ProcessId) {
+    let factor = sim.draw_fault_in(rng, 2, 8);
+    let window = sim.draw_fault_in(rng, 20, 80);
+    let until = sim.now() + window;
+    sim.boost_delays(factor, until);
+    let pid = draw_pid(sim, rng);
+    (format!("delay spike x{factor} until {until}"), pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultEvent, FaultKind};
+    use graybox_rng::SeedableRng;
+    use graybox_simnet::SimTime;
+
+    #[test]
+    fn standard_registry_covers_every_bundled_kind() {
+        let registry = InjectorRegistry::standard();
+        for kind in FaultKind::ALL {
+            assert!(
+                registry.get(kind.site()).is_some(),
+                "no injector for {kind}"
+            );
+        }
+        assert_eq!(registry.sites().count(), FaultKind::ALL.len());
+        let plan = FaultPlan::random_mix(1, (10, 50), 20, &FaultKind::ALL);
+        assert!(registry.covers(&plan));
+    }
+
+    #[test]
+    fn custom_sites_can_be_registered() {
+        let mut registry = InjectorRegistry::standard();
+        assert!(registry.get("custom.site").is_none());
+        registry.register("custom.site", |_sim, _rng| {
+            ("custom".to_string(), ProcessId(0))
+        });
+        assert!(registry.get("custom.site").is_some());
+        let plan =
+            FaultPlan::from_events(vec![FaultEvent::at_site(SimTime::from(5), "custom.site")]);
+        assert!(registry.covers(&plan));
+        assert!(!InjectorRegistry::standard().covers(&plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "no injector registered")]
+    fn unknown_site_injection_panics() {
+        let registry = InjectorRegistry::empty();
+        let config = crate::RunConfig::new(2, graybox_tme::Implementation::Lamport);
+        let mut sim = crate::build_sim(&config);
+        let mut rng = SmallRng::seed_from_u64(0);
+        registry.inject("channel.drop", &mut sim, &mut rng);
+    }
+}

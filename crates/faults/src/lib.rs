@@ -9,10 +9,17 @@
 //! This crate turns that model into reproducible experiments:
 //!
 //! * [`FaultKind`] — one constructor per fault class in the paper's list;
-//! * [`FaultPlan`] — a seeded schedule of faults over a time window;
-//! * [`run_tme`] / [`run_tme_trace`] — the campaign runner: build a
-//!   (possibly wrapped) TME system, apply the workload and the fault plan,
-//!   record the trace, and analyze convergence;
+//! * [`FaultPlan`] — a seeded schedule of faults over a time window,
+//!   keyed by failpoint site name;
+//! * [`InjectorRegistry`] — site name → injection code; the runner
+//!   dispatches schedules through it, so new fault sites never touch it;
+//! * [`run_campaign`] / [`replay_campaign`] — the campaign runner:
+//!   build a (possibly wrapped) TME system, apply workload and faults,
+//!   record trace + operation log, analyze convergence — and re-execute
+//!   any recorded run bit-exactly ([`run_tme`] / [`run_tme_trace`] skip
+//!   the recording);
+//! * [`shrink`](shrink()) — delta-debug a failing fault schedule down to
+//!   a minimal still-failing counterexample, [`repro`]-serializable;
 //! * [`scenarios`] — hand-crafted scenarios, most importantly the §4
 //!   deadlock (both requests dropped ⇒ mutually inconsistent `j.REQ_k`).
 //!
@@ -34,12 +41,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod injector;
 mod plan;
+pub mod repro;
 mod reset;
 /// The campaign runner: build, fault, record, analyze (see [`run_tme`]).
 pub mod runner;
 pub mod scenarios;
+mod shrink;
 
+pub use injector::{Injector, InjectorRegistry};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use reset::Resettable;
-pub use runner::{build_sim, run_tme, run_tme_trace, RunConfig, RunOutcome, Verdict, Wrapped};
+pub use runner::{
+    build_sim, replay_campaign, replay_campaign_with, run_campaign, run_campaign_with, run_tme,
+    run_tme_trace, CampaignRun, RunConfig, RunOutcome, Verdict, Wrapped,
+};
+pub use shrink::{failed, shrink, shrink_with, ShrinkOutcome};

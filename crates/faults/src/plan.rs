@@ -1,8 +1,15 @@
 use graybox_rng::rngs::SmallRng;
 use graybox_rng::{Rng, SeedableRng};
-use graybox_simnet::SimTime;
+use graybox_simnet::{failpoint, SimTime};
 
-/// One fault class from the paper's §3.1 model.
+/// One fault class from the paper's §3.1 model (plus the two environment
+/// stressors `DelaySpike` and `ReorderMessages`).
+///
+/// `FaultKind` is a *constructor convenience*: schedules are keyed by
+/// failpoint site name (see [`FaultEvent::site`]), and the campaign
+/// runner dispatches on sites through an injector registry — so code can
+/// also schedule sites directly (including custom registered ones)
+/// without touching this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// A random in-flight message is lost.
@@ -21,11 +28,33 @@ pub enum FaultKind {
     /// A random process fails and recovers: its state returns to `Init`
     /// (which is *not* necessarily consistent with the others).
     ResetProcess,
+    /// Two in-flight messages on a random channel swap queue positions
+    /// (an explicit Communication-Spec violation while in effect).
+    ReorderMessages,
+    /// Message delays spike: the whole delay range is multiplied for a
+    /// window of virtual time (asynchrony stressed toward its bound).
+    DelaySpike,
 }
 
 impl FaultKind {
     /// Every fault kind, for mixed campaigns.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::DropMessage,
+        FaultKind::DuplicateMessage,
+        FaultKind::CorruptMessage,
+        FaultKind::InjectGarbage,
+        FaultKind::FlushChannel,
+        FaultKind::CorruptProcess,
+        FaultKind::ResetProcess,
+        FaultKind::ReorderMessages,
+        FaultKind::DelaySpike,
+    ];
+
+    /// The seven §3.1 fault classes, without the environment stressors —
+    /// the exact set the paper's "any finite number of faults" quantifies
+    /// over (and the set `ALL` held before reorder/delay were added, for
+    /// seed-stable mixed campaigns).
+    pub const PAPER: [FaultKind; 7] = [
         FaultKind::DropMessage,
         FaultKind::DuplicateMessage,
         FaultKind::CorruptMessage,
@@ -45,7 +74,30 @@ impl FaultKind {
             FaultKind::FlushChannel => "flush",
             FaultKind::CorruptProcess => "corrupt-state",
             FaultKind::ResetProcess => "reset",
+            FaultKind::ReorderMessages => "reorder",
+            FaultKind::DelaySpike => "delay-spike",
         }
+    }
+
+    /// The failpoint site this kind's injector fires (the schedule key).
+    pub fn site(self) -> &'static str {
+        match self {
+            FaultKind::DropMessage => failpoint::CHANNEL_DROP,
+            FaultKind::DuplicateMessage => failpoint::CHANNEL_DUPLICATE,
+            FaultKind::CorruptMessage => failpoint::MSG_CORRUPT,
+            FaultKind::InjectGarbage => failpoint::MSG_INJECT,
+            FaultKind::FlushChannel => failpoint::CHANNEL_FLUSH,
+            FaultKind::CorruptProcess => failpoint::PROCESS_CORRUPT,
+            FaultKind::ResetProcess => failpoint::PROCESS_RESET,
+            FaultKind::ReorderMessages => failpoint::CHANNEL_REORDER,
+            FaultKind::DelaySpike => failpoint::SIM_DELAY,
+        }
+    }
+
+    /// The kind whose injector fires `site`, if any (inverse of
+    /// [`FaultKind::site`]).
+    pub fn from_site(site: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|kind| kind.site() == site)
     }
 }
 
@@ -55,15 +107,38 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
-/// A fault scheduled at a virtual time. Targets (which channel, which
-/// process, which message) are drawn by the runner from its seeded RNG at
-/// injection time.
+/// A fault scheduled at a virtual time, keyed by the failpoint site its
+/// injector fires. Targets (which channel, which process, which message)
+/// are drawn by the injector from the campaign's fault RNG at injection
+/// time — and routed through the simulation's oplog, so they replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
     /// When to inject.
     pub at: SimTime,
-    /// What to inject.
-    pub kind: FaultKind,
+    /// Which injection site to fire (e.g. `"channel.drop"`; the
+    /// constants live in [`graybox_simnet::failpoint`]).
+    pub site: &'static str,
+}
+
+impl FaultEvent {
+    /// An event firing `kind`'s site at `at`.
+    pub fn new(at: SimTime, kind: FaultKind) -> Self {
+        FaultEvent {
+            at,
+            site: kind.site(),
+        }
+    }
+
+    /// An event firing an explicit site at `at` (for custom-registered
+    /// injectors).
+    pub fn at_site(at: SimTime, site: &'static str) -> Self {
+        FaultEvent { at, site }
+    }
+
+    /// The bundled kind behind this event's site, if it is a standard one.
+    pub fn kind(&self) -> Option<FaultKind> {
+        FaultKind::from_site(self.site)
+    }
 }
 
 /// A time-ordered schedule of faults.
@@ -81,7 +156,7 @@ impl FaultPlan {
     /// A burst of `count` same-kind faults at one instant.
     pub fn burst(kind: FaultKind, at: SimTime, count: usize) -> Self {
         FaultPlan {
-            events: (0..count).map(|_| FaultEvent { at, kind }).collect(),
+            events: (0..count).map(|_| FaultEvent::new(at, kind)).collect(),
         }
     }
 
@@ -92,11 +167,19 @@ impl FaultPlan {
         assert!(window.0 <= window.1, "window must be ordered");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut events: Vec<FaultEvent> = (0..count)
-            .map(|_| FaultEvent {
-                at: SimTime::from(rng.gen_range(window.0..=window.1)),
-                kind: kinds[rng.gen_range(0..kinds.len())],
+            .map(|_| {
+                FaultEvent::new(
+                    SimTime::from(rng.gen_range(window.0..=window.1)),
+                    kinds[rng.gen_range(0..kinds.len())],
+                )
             })
             .collect();
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// A plan from an explicit event list (sorted by time for you).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by_key(|e| e.at);
         FaultPlan { events }
     }
@@ -119,6 +202,11 @@ impl FaultPlan {
         &self.events
     }
 
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
     /// True for the empty plan.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -139,6 +227,10 @@ mod tests {
         let plan = FaultPlan::burst(FaultKind::DropMessage, SimTime::from(10), 3);
         assert_eq!(plan.events().len(), 3);
         assert!(plan.events().iter().all(|e| e.at == SimTime::from(10)));
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.site == failpoint::CHANNEL_DROP));
         assert_eq!(plan.last_fault_time(), Some(SimTime::from(10)));
     }
 
@@ -161,8 +253,8 @@ mod tests {
         let a = FaultPlan::burst(FaultKind::FlushChannel, SimTime::from(50), 1);
         let b = FaultPlan::burst(FaultKind::CorruptProcess, SimTime::from(20), 1);
         let merged = a.merge(b);
-        assert_eq!(merged.events()[0].kind, FaultKind::CorruptProcess);
-        assert_eq!(merged.events()[1].kind, FaultKind::FlushChannel);
+        assert_eq!(merged.events()[0].kind(), Some(FaultKind::CorruptProcess));
+        assert_eq!(merged.events()[1].kind(), Some(FaultKind::FlushChannel));
     }
 
     #[test]
@@ -176,5 +268,27 @@ mod tests {
         let labels: std::collections::BTreeSet<_> =
             FaultKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn sites_round_trip_through_from_site() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_site(kind.site()), Some(kind));
+            // Every site the plan layer names exists in the simnet registry.
+            assert_eq!(failpoint::lookup_site(kind.site()), Some(kind.site()));
+        }
+        assert_eq!(FaultKind::from_site("channel.teleport"), None);
+        let sites: std::collections::BTreeSet<_> =
+            FaultKind::ALL.iter().map(|k| k.site()).collect();
+        assert_eq!(sites.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn paper_subset_excludes_environment_stressors() {
+        assert!(!FaultKind::PAPER.contains(&FaultKind::ReorderMessages));
+        assert!(!FaultKind::PAPER.contains(&FaultKind::DelaySpike));
+        for kind in FaultKind::PAPER {
+            assert!(FaultKind::ALL.contains(&kind));
+        }
     }
 }

@@ -1,14 +1,27 @@
-use graybox_clock::{ProcessId, Timestamp};
+//! The campaign runner: executes a [`RunConfig`] (workload + fault
+//! schedule) against a simulated TME system and checks stabilization.
+//!
+//! Campaigns are **trace-producing by default**: [`run_campaign`] records
+//! the full operation log (every scheduler pop, RNG draw, and failpoint
+//! firing) alongside the trace, so any run — in particular any *failing*
+//! run — can be replayed bit-exactly by [`replay_campaign`] and shrunk by
+//! [`crate::shrink`]. The schedule is keyed by failpoint site name and
+//! dispatched through an [`InjectorRegistry`], so the runner itself never
+//! matches on fault kinds. [`run_tme`] / [`run_tme_trace`] remain as
+//! lighter wrappers that skip recording (for sweeps that only need
+//! outcomes).
+
+use graybox_clock::ProcessId;
 use graybox_rng::rngs::SmallRng;
-use graybox_rng::{Rng, SeedableRng};
-use graybox_simnet::{Corruptible, SimConfig, SimTime, Simulation};
+use graybox_rng::SeedableRng;
+use graybox_simnet::{FailpointRegistry, OpLog, ReplayError, SimConfig, SimTime, Simulation};
 use graybox_spec::convergence::{self, ConvergenceReport};
 use graybox_spec::lspec::DEFAULT_GRACE;
-use graybox_spec::{Trace, TraceRecorder};
-use graybox_tme::{Implementation, TmeMsg, TmeProcess, Workload, WorkloadConfig};
+use graybox_spec::{OnlineOracle, Trace, TraceRecorder};
+use graybox_tme::{Implementation, TmeProcess, Workload, WorkloadConfig};
 use graybox_wrapper::{GrayboxWrapper, WrapperConfig};
 
-use crate::{FaultKind, FaultPlan, Resettable};
+use crate::{FaultPlan, InjectorRegistry};
 
 /// The process type every campaign runs: a (possibly disabled) graybox
 /// wrapper around one of the bundled implementations. Baselines use
@@ -43,8 +56,11 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// A fault-free, unwrapped run of `n` processes.
+    /// A fault-free, unwrapped run of `n` processes. Delay bounds and
+    /// FIFO-ness are taken from [`SimConfig::default`] — the single
+    /// source of truth for simulation defaults — not re-hardcoded here.
     pub fn new(n: usize, implementation: Implementation) -> Self {
+        let sim_defaults = SimConfig::default();
         RunConfig {
             n,
             implementation,
@@ -54,8 +70,8 @@ impl RunConfig {
             faults: FaultPlan::none(),
             horizon: None,
             grace: DEFAULT_GRACE,
-            delays: (1, 8),
-            fifo: true,
+            delays: sim_defaults.delay_range(),
+            fifo: sim_defaults.fifo,
         }
     }
 
@@ -164,24 +180,101 @@ impl RunOutcome {
     }
 }
 
-/// Runs a campaign and returns the outcome (see [`run_tme_trace`] to also
-/// get the full trace).
+/// A recorded campaign: the trace and outcome plus everything needed to
+/// reproduce the run bit-exactly.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// The measured outcome.
+    pub outcome: RunOutcome,
+    /// The full operation log (draws, pops, failpoint firings). Feed it
+    /// back through [`replay_campaign`] for a verified re-execution.
+    pub oplog: OpLog,
+    /// Per-site failpoint hit counters for the run.
+    pub failpoints: FailpointRegistry,
+}
+
+/// Runs a campaign with recording on (see the module docs), using the
+/// standard injector registry.
+pub fn run_campaign(config: &RunConfig) -> CampaignRun {
+    run_campaign_with(config, &InjectorRegistry::standard())
+}
+
+/// [`run_campaign`] with a custom injector registry (experiment-specific
+/// fault sites).
+pub fn run_campaign_with(config: &RunConfig, registry: &InjectorRegistry) -> CampaignRun {
+    let mut sim = build_sim(config);
+    sim.start_recording();
+    let (trace, outcome) = execute(&mut sim, config, registry);
+    CampaignRun {
+        trace,
+        outcome,
+        oplog: sim.take_oplog().expect("recording was on"),
+        failpoints: sim.failpoints().clone(),
+    }
+}
+
+/// Re-executes a recorded campaign against `log`, verifying every
+/// scheduler pop, draw, and failpoint firing along the way. On success
+/// the returned [`CampaignRun`] carries the (now doubly verified) log;
+/// any divergence — wrong config, wrong code version, tampered log —
+/// reports the first mismatching operation.
+pub fn replay_campaign(config: &RunConfig, log: &OpLog) -> Result<CampaignRun, ReplayError> {
+    replay_campaign_with(config, log, &InjectorRegistry::standard())
+}
+
+/// [`replay_campaign`] with a custom injector registry.
+pub fn replay_campaign_with(
+    config: &RunConfig,
+    log: &OpLog,
+    registry: &InjectorRegistry,
+) -> Result<CampaignRun, ReplayError> {
+    let mut sim = build_sim(config);
+    sim.begin_replay(log.clone());
+    let (trace, outcome) = execute(&mut sim, config, registry);
+    let failpoints = sim.failpoints().clone();
+    sim.finish_replay()?;
+    Ok(CampaignRun {
+        trace,
+        outcome,
+        oplog: log.clone(),
+        failpoints,
+    })
+}
+
+/// Runs a campaign without recording and returns the outcome (see
+/// [`run_tme_trace`] to also get the full trace, [`run_campaign`] to get
+/// a replayable log).
 pub fn run_tme(config: &RunConfig) -> RunOutcome {
     run_tme_trace(config).1
 }
 
-/// Runs a campaign, returning the recorded trace and the outcome.
+/// Runs a campaign without recording, returning the trace and outcome.
 pub fn run_tme_trace(config: &RunConfig) -> (Trace, RunOutcome) {
     let mut sim = build_sim(config);
+    execute(&mut sim, config, &InjectorRegistry::standard())
+}
+
+/// The shared campaign loop: applies the workload, interleaves scheduled
+/// fault injections with simulation steps up to the horizon, runs the
+/// online oracle over every recorded step, and condenses the verdict.
+/// Works identically in idle, recording, and replay entropy modes.
+fn execute(
+    sim: &mut Simulation<Wrapped>,
+    config: &RunConfig,
+    registry: &InjectorRegistry,
+) -> (Trace, RunOutcome) {
     let workload_config = WorkloadConfig {
         n: config.n,
         ..config.workload
     };
     let workload = Workload::generate(workload_config, config.seed);
-    workload.apply(&mut sim);
+    workload.apply(sim);
     let horizon = config.effective_horizon(&workload);
 
-    let mut recorder = TraceRecorder::new(&sim);
+    let mut recorder = TraceRecorder::new(sim);
+    let mut oracle = OnlineOracle::new();
     let mut fault_rng = SmallRng::seed_from_u64(config.seed ^ 0xFA11_FA11);
     let mut pending = config.faults.events().iter().copied().peekable();
     let mut faults_injected = 0usize;
@@ -189,27 +282,44 @@ pub fn run_tme_trace(config: &RunConfig) -> (Trace, RunOutcome) {
     loop {
         let next_event = sim.peek_time();
         let next_fault = pending.peek().map(|e| e.at);
-        match (next_event, next_fault) {
-            (Some(event_at), Some(fault_at)) if fault_at <= event_at && fault_at <= horizon => {
-                let event = pending.next().expect("peeked");
-                let description = apply_fault(&mut sim, &mut fault_rng, event.kind);
-                recorder.mark_fault(&sim, description.1, description.0);
-                faults_injected += 1;
+        let inject_now = match (next_event, next_fault) {
+            (Some(event_at), Some(fault_at)) => {
+                if fault_at <= event_at && fault_at <= horizon {
+                    true
+                } else if event_at <= horizon {
+                    false
+                } else {
+                    break;
+                }
             }
-            (Some(event_at), _) if event_at <= horizon => {
-                recorder.step(&mut sim);
+            (Some(event_at), None) => {
+                if event_at <= horizon {
+                    false
+                } else {
+                    break;
+                }
             }
-            (None, Some(fault_at)) if fault_at <= horizon => {
-                let event = pending.next().expect("peeked");
-                let description = apply_fault(&mut sim, &mut fault_rng, event.kind);
-                recorder.mark_fault(&sim, description.1, description.0);
-                faults_injected += 1;
-            }
+            (None, Some(fault_at)) if fault_at <= horizon => true,
             _ => break,
+        };
+        if inject_now {
+            let event = pending.next().expect("peeked");
+            let (description, affected) = registry.inject(event.site, sim, &mut fault_rng);
+            recorder.mark_fault(sim, affected, description);
+            faults_injected += 1;
+        } else {
+            recorder.step(sim);
+        }
+        if let Some(step) = recorder.last_step() {
+            oracle.observe(step);
         }
     }
 
     let trace = recorder.into_trace();
+    debug_assert!(
+        oracle.agrees_with(&trace),
+        "online oracle diverged from the batch ME1 checker"
+    );
     let report = convergence::analyze(&trace, config.grace);
     let entries: Vec<u64> = sim.processes().map(|p| p.inner().entries()).collect();
     let outcome = RunOutcome {
@@ -256,97 +366,10 @@ pub fn build_sim(config: &RunConfig) -> Simulation<Wrapped> {
     )
 }
 
-/// Applies one fault; returns `(description, affected process)`.
-pub(crate) fn apply_fault(
-    sim: &mut Simulation<Wrapped>,
-    rng: &mut SmallRng,
-    kind: FaultKind,
-) -> (String, ProcessId) {
-    let n = sim.len();
-    let n_u32 = u32::try_from(n).expect("process count exceeds u32");
-    let random_pid = |rng: &mut SmallRng| ProcessId(rng.gen_range(0..n_u32));
-    let random_pair = |rng: &mut SmallRng| {
-        let from = rng.gen_range(0..n_u32);
-        let mut to = rng.gen_range(0..n_u32);
-        if n > 1 {
-            while to == from {
-                to = rng.gen_range(0..n_u32);
-            }
-        }
-        (ProcessId(from), ProcessId(to))
-    };
-    let nonempty_channels = |sim: &Simulation<Wrapped>| -> Vec<(ProcessId, ProcessId, usize)> {
-        let mut result = Vec::new();
-        for from in ProcessId::all(n) {
-            for to in ProcessId::all(n) {
-                let len = sim.channel(from, to).len();
-                if len > 0 {
-                    result.push((from, to, len));
-                }
-            }
-        }
-        result
-    };
-
-    match kind {
-        FaultKind::DropMessage => {
-            let channels = nonempty_channels(sim);
-            if channels.is_empty() {
-                return ("drop: no message in flight".into(), ProcessId(0));
-            }
-            let (from, to, len) = channels[rng.gen_range(0..channels.len())];
-            let index = rng.gen_range(0..len);
-            sim.drop_message(from, to, index);
-            (format!("drop message #{index} on {from}→{to}"), to)
-        }
-        FaultKind::DuplicateMessage => {
-            let channels = nonempty_channels(sim);
-            if channels.is_empty() {
-                return ("duplicate: no message in flight".into(), ProcessId(0));
-            }
-            let (from, to, len) = channels[rng.gen_range(0..channels.len())];
-            let index = rng.gen_range(0..len);
-            sim.duplicate_message(from, to, index);
-            (format!("duplicate message #{index} on {from}→{to}"), to)
-        }
-        FaultKind::CorruptMessage => {
-            let channels = nonempty_channels(sim);
-            if channels.is_empty() {
-                return ("corrupt-msg: no message in flight".into(), ProcessId(0));
-            }
-            let (from, to, len) = channels[rng.gen_range(0..channels.len())];
-            let index = rng.gen_range(0..len);
-            sim.corrupt_message(from, to, index);
-            (format!("corrupt message #{index} on {from}→{to}"), to)
-        }
-        FaultKind::InjectGarbage => {
-            let (from, to) = random_pair(rng);
-            let mut payload = TmeMsg::Request(Timestamp::zero(from));
-            payload.corrupt(rng);
-            sim.inject_message(from, to, payload);
-            (format!("inject garbage on {from}→{to}"), to)
-        }
-        FaultKind::FlushChannel => {
-            let (from, to) = random_pair(rng);
-            let lost = sim.flush_channel(from, to);
-            (format!("flush {from}→{to} ({lost} lost)"), to)
-        }
-        FaultKind::CorruptProcess => {
-            let pid = random_pid(rng);
-            sim.corrupt_process(pid);
-            (format!("corrupt state of {pid}"), pid)
-        }
-        FaultKind::ResetProcess => {
-            let pid = random_pid(rng);
-            sim.process_mut(pid).reset();
-            (format!("fail/recover {pid} (reset to Init)"), pid)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultKind;
 
     #[test]
     fn fault_free_baseline_serves_all_requests() {
@@ -358,6 +381,14 @@ mod tests {
         assert!(outcome.total_entries > 0);
         assert_eq!(outcome.wrapper_resends, 0);
         assert_eq!(outcome.faults_injected, 0);
+    }
+
+    #[test]
+    fn run_config_defaults_mirror_sim_config() {
+        let config = RunConfig::new(3, Implementation::Lamport);
+        let sim_defaults = SimConfig::default();
+        assert_eq!(config.delays, sim_defaults.delay_range());
+        assert_eq!(config.fifo, sim_defaults.fifo);
     }
 
     #[test]
@@ -403,6 +434,40 @@ mod tests {
         assert_eq!(a.entries, b.entries);
         assert_eq!(a.messages_sent, b.messages_sent);
         assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_run() {
+        // Recording must observe, not perturb: the oplog layer passes the
+        // same draws through, so outcomes are identical with it on.
+        let config = RunConfig::new(3, Implementation::RicartAgrawala)
+            .wrapper(WrapperConfig::timeout(6))
+            .faults(FaultPlan::random_mix(4, (30, 150), 8, &FaultKind::ALL))
+            .seed(21);
+        let plain = run_tme(&config);
+        let recorded = run_campaign(&config);
+        assert_eq!(plain.verdict, recorded.outcome.verdict);
+        assert_eq!(plain.entries, recorded.outcome.entries);
+        assert_eq!(plain.messages_sent, recorded.outcome.messages_sent);
+        assert!(!recorded.oplog.is_empty());
+        assert!(recorded.failpoints.total() > 0);
+    }
+
+    #[test]
+    fn replay_verifies_and_reproduces_the_verdict() {
+        let config = RunConfig::new(3, Implementation::Lamport)
+            .wrapper(WrapperConfig::timeout(8))
+            .faults(FaultPlan::random_mix(6, (40, 180), 9, &FaultKind::ALL))
+            .seed(17);
+        let recorded = run_campaign(&config);
+        let replayed = replay_campaign(&config, &recorded.oplog).expect("replay must verify");
+        assert_eq!(replayed.outcome.verdict, recorded.outcome.verdict);
+        assert_eq!(replayed.outcome.entries, recorded.outcome.entries);
+        assert_eq!(replayed.failpoints, recorded.failpoints);
+        // A different seed cannot satisfy the log: the first scheduler
+        // pop or draw diverges and the verifier reports it.
+        let wrong = config.clone().seed(18);
+        assert!(replay_campaign(&wrong, &recorded.oplog).is_err());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! A retained copy of the **pre-instrumentation** event loop, kept as the
+//! honest baseline for the `simnet_overhead` benchmark.
+//!
+//! [`BareSimulation`] is the simulator as it was before the entropy layer
+//! (oplog recording/replay) and the failpoint registry were threaded
+//! through [`crate::Simulation`]: FIFO channels, seeded delays, the same
+//! heap-ordered event loop — and nothing else. No fault primitives, no
+//! recording, no counters. Because both loops draw delays from the same
+//! generator in the same order, a fault-free FIFO run produces **step
+//! records identical** to an idle `Simulation` with the same seed (pinned
+//! by a differential test here), which is what makes the benchmark's
+//! "instrumentation costs ≤10% when idle" gate meaningful rather than a
+//! comparison against a strawman.
+//!
+//! Do not grow this type. It exists to measure the cost of what
+//! `Simulation` added; features added here would defeat its purpose.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use graybox_clock::ProcessId;
+use graybox_rng::rngs::SmallRng;
+use graybox_rng::{Rng, SeedableRng};
+
+use crate::{
+    Channel, Context, Envelope, MsgId, Process, SendRecord, SimConfig, SimTime, StepKind,
+    StepRecord,
+};
+
+#[derive(Debug)]
+enum EventKind<C> {
+    Deliver { from: ProcessId, to: ProcessId },
+    Timer { pid: ProcessId, tag: u32 },
+    Client { pid: ProcessId, event: C },
+    Start { pid: ProcessId },
+}
+
+#[derive(Debug)]
+struct Scheduled<C> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<C>,
+}
+
+impl<C> PartialEq for Scheduled<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<C> Eq for Scheduled<C> {}
+impl<C> PartialOrd for Scheduled<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C> Ord for Scheduled<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The uninstrumented event loop (see the module docs). Supports exactly
+/// what a fault-free FIFO throughput benchmark needs: construction,
+/// client scheduling, message injection, and stepping.
+#[derive(Debug)]
+pub struct BareSimulation<P: Process> {
+    processes: Vec<P>,
+    channels: Vec<Vec<Channel<P::Msg>>>,
+    queue: BinaryHeap<Scheduled<P::Client>>,
+    now: SimTime,
+    seq: u64,
+    next_msg_id: MsgId,
+    rng: SmallRng,
+    config: SimConfig,
+}
+
+impl<P: Process> BareSimulation<P> {
+    /// Creates the bare simulation. Same contract as
+    /// [`crate::Simulation::new`], restricted to FIFO configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched process ids, or if `config.fifo` is false
+    /// (the baseline predates the instrumented non-FIFO pick and must not
+    /// diverge from it).
+    pub fn new(processes: Vec<P>, config: SimConfig) -> Self {
+        assert!(config.fifo, "BareSimulation is FIFO-only");
+        for (index, process) in processes.iter().enumerate() {
+            assert_eq!(
+                process.id().index(),
+                index,
+                "process at index {index} must have ProcessId({index})"
+            );
+        }
+        let config = config.normalized();
+        let n = processes.len();
+        let mut sim = BareSimulation {
+            processes,
+            channels: (0..n)
+                .map(|_| (0..n).map(|_| Channel::new()).collect())
+                .collect(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_msg_id: 1,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        };
+        for pid in ProcessId::all(n) {
+            sim.push_event(SimTime::ZERO, EventKind::Start { pid });
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to a process.
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.processes[pid.index()]
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<P::Client>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    /// Schedules a client event for `pid` at absolute time `at`.
+    pub fn schedule_client(&mut self, at: SimTime, pid: ProcessId, event: P::Client) {
+        self.push_event(at, EventKind::Client { pid, event });
+    }
+
+    /// Injects a message into channel `from → to`; returns its id.
+    pub fn inject_message(&mut self, from: ProcessId, to: ProcessId, payload: P::Msg) -> MsgId {
+        self.enqueue_envelope(from, to, payload)
+    }
+
+    fn enqueue_envelope(&mut self, from: ProcessId, to: ProcessId, payload: P::Msg) -> MsgId {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let delay = self
+            .rng
+            .gen_range(self.config.min_delay..=self.config.max_delay);
+        let proposed = self.now + delay;
+        let deliver_at = self.channels[from.index()][to.index()].schedule(proposed);
+        self.channels[from.index()][to.index()].push_back(Envelope {
+            id,
+            from,
+            to,
+            payload,
+            sent_at: self.now,
+        });
+        self.push_event(deliver_at, EventKind::Deliver { from, to });
+        id
+    }
+
+    /// Executes the next event; `None` when the queue is empty.
+    pub fn step(&mut self) -> Option<StepRecord<P::Client, P::Msg>> {
+        let scheduled = self.queue.pop()?;
+        self.now = self.now.max(scheduled.time);
+        let (pid, kind, ctx) = match scheduled.kind {
+            EventKind::Deliver { from, to } => {
+                match self.channels[from.index()][to.index()].pop_front() {
+                    None => {
+                        return Some(StepRecord {
+                            time: self.now,
+                            pid: to,
+                            kind: StepKind::Skipped,
+                            sends: Vec::new(),
+                            timers_set: Vec::new(),
+                        });
+                    }
+                    Some(envelope) => {
+                        let mut ctx = Context::new(self.now, to);
+                        self.processes[to.index()].on_message(
+                            envelope.from,
+                            envelope.payload.clone(),
+                            &mut ctx,
+                        );
+                        (
+                            to,
+                            StepKind::Deliver {
+                                from: envelope.from,
+                                msg_id: envelope.id,
+                                payload: envelope.payload,
+                            },
+                            ctx,
+                        )
+                    }
+                }
+            }
+            EventKind::Timer { pid, tag } => {
+                let mut ctx = Context::new(self.now, pid);
+                self.processes[pid.index()].on_timer(tag, &mut ctx);
+                (pid, StepKind::Timer { tag }, ctx)
+            }
+            EventKind::Client { pid, event } => {
+                let mut ctx = Context::new(self.now, pid);
+                self.processes[pid.index()].on_client(event.clone(), &mut ctx);
+                (pid, StepKind::Client { event }, ctx)
+            }
+            EventKind::Start { pid } => {
+                let mut ctx = Context::new(self.now, pid);
+                self.processes[pid.index()].on_start(&mut ctx);
+                (pid, StepKind::Start, ctx)
+            }
+        };
+        let Context {
+            outgoing, timers, ..
+        } = ctx;
+        let mut sends = Vec::with_capacity(outgoing.len());
+        for (to, payload) in outgoing {
+            let msg_id = self.enqueue_envelope(pid, to, payload.clone());
+            sends.push(SendRecord {
+                msg_id,
+                to,
+                payload,
+            });
+        }
+        let mut timers_set = Vec::with_capacity(timers.len());
+        for (tag, delay) in timers {
+            let fire_at = self.now + delay.max(1);
+            self.push_event(fire_at, EventKind::Timer { pid, tag });
+            timers_set.push((tag, fire_at));
+        }
+        Some(StepRecord {
+            time: self.now,
+            pid,
+            kind,
+            sends,
+            timers_set,
+        })
+    }
+
+    /// Runs until the next event would be after `limit`, collecting the
+    /// step records.
+    pub fn run_until(&mut self, limit: SimTime) -> Vec<StepRecord<P::Client, P::Msg>> {
+        let mut records = Vec::new();
+        while matches!(
+            self.queue.peek().map(|scheduled| scheduled.time),
+            Some(time) if time <= limit
+        ) {
+            if let Some(record) = self.step() {
+                records.push(record);
+            }
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+
+    /// Deterministic chatter: every received token is re-sent to the next
+    /// process until its hop budget is spent.
+    #[derive(Debug)]
+    struct Relay {
+        id: ProcessId,
+        n: u32,
+        received: u32,
+    }
+
+    impl Process for Relay {
+        type Msg = u32;
+        type Client = u32;
+
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+
+        fn on_message(&mut self, _from: ProcessId, hops: u32, ctx: &mut Context<u32>) {
+            self.received += 1;
+            if hops > 0 {
+                ctx.send(ProcessId((self.id.0 + 1) % self.n), hops - 1);
+            }
+        }
+
+        fn on_timer(&mut self, _tag: u32, _ctx: &mut Context<u32>) {}
+
+        fn on_client(&mut self, hops: u32, ctx: &mut Context<u32>) {
+            ctx.send(ProcessId((self.id.0 + 1) % self.n), hops);
+        }
+    }
+
+    fn relays(n: u32) -> Vec<Relay> {
+        (0..n)
+            .map(|id| Relay {
+                id: ProcessId(id),
+                n,
+                received: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bare_and_instrumented_idle_runs_are_step_identical() {
+        let config = SimConfig::with_seed(2024);
+        let mut bare = BareSimulation::new(relays(3), config);
+        let mut full = Simulation::new(relays(3), config);
+        for t in [1u64, 5, 9] {
+            bare.schedule_client(SimTime::from(t), ProcessId(0), 20);
+            full.schedule_client(SimTime::from(t), ProcessId(0), 20);
+        }
+        let a = bare.run_until(SimTime::from(2_000));
+        let b = full.run_until(SimTime::from(2_000));
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.time, x.pid), (y.time, y.pid));
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.sends, y.sends);
+            assert_eq!(x.timers_set, y.timers_set);
+        }
+        assert_eq!(bare.now(), full.now());
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO-only")]
+    fn non_fifo_config_is_rejected() {
+        let config = SimConfig {
+            fifo: false,
+            ..SimConfig::default()
+        };
+        let _ = BareSimulation::new(relays(2), config);
+    }
+}

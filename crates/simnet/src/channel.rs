@@ -91,6 +91,17 @@ impl<M> Channel<M> {
         self.queue.clear();
     }
 
+    /// Swaps the queue positions of messages `i` and `j` (reordering
+    /// fault). Returns false — and leaves the queue untouched — unless
+    /// both indices exist and differ.
+    pub(crate) fn swap(&mut self, i: usize, j: usize) -> bool {
+        if i == j || i >= self.queue.len() || j >= self.queue.len() {
+            return false;
+        }
+        self.queue.swap(i, j);
+        true
+    }
+
     /// Computes the next delivery time honouring FIFO: at least `proposed`,
     /// and never earlier than a previously scheduled delivery.
     pub(crate) fn schedule(&mut self, proposed: SimTime) -> SimTime {

@@ -52,16 +52,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod channel;
 mod corrupt;
+pub mod failpoint;
+pub mod oplog;
 mod process;
 mod record;
+pub mod replay;
 mod sim;
 mod time;
 
+pub use baseline::BareSimulation;
 pub use channel::{Channel, Envelope, MsgId};
 pub use corrupt::Corruptible;
+pub use failpoint::FailpointRegistry;
+pub use oplog::{DrawStream, Op, OpLog};
 pub use process::{Context, Process, TimerTag, TimerTagExt};
 pub use record::{SendRecord, StepKind, StepRecord};
+pub use replay::{ReplayCursor, ReplayError};
 pub use sim::{SimConfig, Simulation};
 pub use time::SimTime;

@@ -1,0 +1,417 @@
+//! Bit-exact **replay** of a recorded simulation run from its oplog.
+//!
+//! Replay re-executes a run without the original RNG: every pseudo-random
+//! draw is substituted with the value recorded in the [`OpLog`], and every
+//! scheduler pop and failpoint firing is *verified* against the log as the
+//! run progresses. If the re-execution ever disagrees with the log — a
+//! draw for the wrong stream, a pop at the wrong time, a failpoint that
+//! fires out of order — the cursor records a [`ReplayError`] describing
+//! the first divergence and the substituted entropy degrades to zeros
+//! (the error, not the zeros, is the signal; callers must check
+//! [`ReplayCursor::finish`]).
+//!
+//! The replay guarantee: for a deterministic process set, feeding a run's
+//! own oplog back through [`crate::Simulation::begin_replay`] reproduces
+//! the identical step sequence, verdicts, and (when re-recorded) an
+//! identical oplog — see the determinism suite in `graybox-faults`.
+
+use std::fmt;
+
+use crate::oplog::{DrawStream, Op, OpLog};
+use crate::SimTime;
+
+/// The first divergence between a replayed run and its oplog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The run consumed more operations than the log contains.
+    LogExhausted {
+        /// What the run asked for when the log ran out.
+        wanted: String,
+    },
+    /// The run requested a draw but the log's next op is different.
+    DrawMismatch {
+        /// Index of the offending op in the log.
+        index: usize,
+        /// The stream the run drew for.
+        wanted: DrawStream,
+        /// The op actually found at that position.
+        found: String,
+    },
+    /// A recorded draw value lies outside the range the run requested —
+    /// the log belongs to a different configuration.
+    DrawOutOfRange {
+        /// Index of the offending op in the log.
+        index: usize,
+        /// The stream the run drew for.
+        stream: DrawStream,
+        /// The recorded value.
+        value: u64,
+        /// The inclusive range the run requested.
+        range: (u64, u64),
+    },
+    /// The event loop popped a different event than the log recorded.
+    PopMismatch {
+        /// Index of the offending op in the log.
+        index: usize,
+        /// `(time, seq)` the run popped.
+        wanted: (SimTime, u64),
+        /// The op actually found at that position.
+        found: String,
+    },
+    /// A failpoint fired that does not match the log's next op.
+    FailpointMismatch {
+        /// Index of the offending op in the log.
+        index: usize,
+        /// The site that fired in the run.
+        wanted: String,
+        /// The op actually found at that position.
+        found: String,
+    },
+    /// The run finished but the log still has unconsumed operations.
+    LogNotExhausted {
+        /// Number of ops left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::LogExhausted { wanted } => {
+                write!(f, "oplog exhausted; run wanted {wanted}")
+            }
+            ReplayError::DrawMismatch {
+                index,
+                wanted,
+                found,
+            } => write!(
+                f,
+                "op {index}: run drew from `{wanted}` but log has {found}"
+            ),
+            ReplayError::DrawOutOfRange {
+                index,
+                stream,
+                value,
+                range,
+            } => write!(
+                f,
+                "op {index}: recorded `{stream}` draw {value} outside requested range {}..={}",
+                range.0, range.1
+            ),
+            ReplayError::PopMismatch {
+                index,
+                wanted,
+                found,
+            } => write!(
+                f,
+                "op {index}: run popped ({}, seq {}) but log has {found}",
+                wanted.0, wanted.1
+            ),
+            ReplayError::FailpointMismatch {
+                index,
+                wanted,
+                found,
+            } => write!(
+                f,
+                "op {index}: failpoint `{wanted}` fired but log has {found}"
+            ),
+            ReplayError::LogNotExhausted { remaining } => {
+                write!(f, "run finished with {remaining} unconsumed oplog ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+fn describe(op: &Op) -> String {
+    match op {
+        Op::Draw { stream, value } => format!("draw `{stream}` = {value}"),
+        Op::Pop { time, seq } => format!("pop ({time}, seq {seq})"),
+        Op::Failpoint { time, site, .. } => format!("failpoint `{site}` at {time}"),
+    }
+}
+
+/// A cursor walking an [`OpLog`] during replay.
+///
+/// The simulation consumes draws through it and reports pops and
+/// failpoint firings for verification. The cursor is *poisoning*: after
+/// the first divergence every subsequent draw returns 0 and verification
+/// is skipped, so the run still terminates and [`ReplayCursor::finish`]
+/// reports the original error.
+#[derive(Debug)]
+pub struct ReplayCursor {
+    ops: Vec<Op>,
+    next: usize,
+    error: Option<ReplayError>,
+}
+
+impl ReplayCursor {
+    /// Starts a cursor at the beginning of `log`.
+    pub fn new(log: OpLog) -> Self {
+        ReplayCursor {
+            ops: log.into_ops(),
+            next: 0,
+            error: None,
+        }
+    }
+
+    /// The first divergence seen so far, if any.
+    pub fn error(&self) -> Option<&ReplayError> {
+        self.error.as_ref()
+    }
+
+    /// True once a divergence has been recorded.
+    pub fn poisoned(&self) -> bool {
+        self.error.is_some()
+    }
+
+    fn poison(&mut self, error: ReplayError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+    }
+
+    fn take_next(&mut self, wanted: &str) -> Option<(usize, Op)> {
+        if self.next >= self.ops.len() {
+            self.poison(ReplayError::LogExhausted {
+                wanted: wanted.to_string(),
+            });
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        Some((index, self.ops[index].clone()))
+    }
+
+    /// Substitutes the next recorded draw for `stream`, verifying it lies
+    /// in `lo..=hi`. Returns `lo` after poisoning.
+    pub fn next_draw_ranged(&mut self, stream: DrawStream, lo: u64, hi: u64) -> u64 {
+        if self.poisoned() {
+            return lo;
+        }
+        let Some((index, op)) = self.take_next(&format!("draw `{stream}`")) else {
+            return lo;
+        };
+        match op {
+            Op::Draw { stream: s, value } if s == stream => {
+                if value < lo || value > hi {
+                    self.poison(ReplayError::DrawOutOfRange {
+                        index,
+                        stream,
+                        value,
+                        range: (lo, hi),
+                    });
+                    lo
+                } else {
+                    value
+                }
+            }
+            other => {
+                self.poison(ReplayError::DrawMismatch {
+                    index,
+                    wanted: stream,
+                    found: describe(&other),
+                });
+                lo
+            }
+        }
+    }
+
+    /// Substitutes the next recorded raw 64-bit draw for `stream`.
+    /// Returns 0 after poisoning.
+    pub fn next_draw_raw(&mut self, stream: DrawStream) -> u64 {
+        if self.poisoned() {
+            return 0;
+        }
+        let Some((index, op)) = self.take_next(&format!("draw `{stream}`")) else {
+            return 0;
+        };
+        match op {
+            Op::Draw { stream: s, value } if s == stream => value,
+            other => {
+                self.poison(ReplayError::DrawMismatch {
+                    index,
+                    wanted: stream,
+                    found: describe(&other),
+                });
+                0
+            }
+        }
+    }
+
+    /// Verifies that the run's next scheduler pop matches the log.
+    pub fn expect_pop(&mut self, time: SimTime, seq: u64) {
+        if self.poisoned() {
+            return;
+        }
+        let Some((index, op)) = self.take_next("a scheduler pop") else {
+            return;
+        };
+        match op {
+            Op::Pop { time: t, seq: s } if t == time && s == seq => {}
+            other => self.poison(ReplayError::PopMismatch {
+                index,
+                wanted: (time, seq),
+                found: describe(&other),
+            }),
+        }
+    }
+
+    /// Verifies that a failpoint firing matches the log.
+    pub fn expect_failpoint(&mut self, time: SimTime, site: &str) {
+        if self.poisoned() {
+            return;
+        }
+        let Some((index, op)) = self.take_next(&format!("failpoint `{site}`")) else {
+            return;
+        };
+        match op {
+            Op::Failpoint {
+                time: t, site: s, ..
+            } if t == time && s == site => {}
+            other => self.poison(ReplayError::FailpointMismatch {
+                index,
+                wanted: site.to_string(),
+                found: describe(&other),
+            }),
+        }
+    }
+
+    /// Finishes the replay: `Ok(())` only if no divergence occurred *and*
+    /// the log was fully consumed.
+    pub fn finish(self) -> Result<(), ReplayError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        let remaining = self.ops.len() - self.next;
+        if remaining > 0 {
+            return Err(ReplayError::LogNotExhausted { remaining });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(ops: Vec<Op>) -> OpLog {
+        let mut l = OpLog::new();
+        for op in ops {
+            l.push(op);
+        }
+        l
+    }
+
+    #[test]
+    fn faithful_replay_finishes_clean() {
+        let mut cursor = ReplayCursor::new(log(vec![
+            Op::Draw {
+                stream: DrawStream::Delay,
+                value: 4,
+            },
+            Op::Pop {
+                time: SimTime::from(4),
+                seq: 0,
+            },
+            Op::Failpoint {
+                time: SimTime::from(4),
+                site: "channel.drop".to_string(),
+                detail: "x".to_string(),
+            },
+            Op::Draw {
+                stream: DrawStream::Corrupt,
+                value: 99,
+            },
+        ]));
+        assert_eq!(cursor.next_draw_ranged(DrawStream::Delay, 1, 8), 4);
+        cursor.expect_pop(SimTime::from(4), 0);
+        cursor.expect_failpoint(SimTime::from(4), "channel.drop");
+        assert_eq!(cursor.next_draw_raw(DrawStream::Corrupt), 99);
+        assert!(cursor.finish().is_ok());
+    }
+
+    #[test]
+    fn wrong_stream_poisons() {
+        let mut cursor = ReplayCursor::new(log(vec![Op::Draw {
+            stream: DrawStream::Delay,
+            value: 4,
+        }]));
+        assert_eq!(cursor.next_draw_ranged(DrawStream::NonFifoPick, 0, 9), 0);
+        assert!(matches!(
+            cursor.finish(),
+            Err(ReplayError::DrawMismatch { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_draw_poisons() {
+        let mut cursor = ReplayCursor::new(log(vec![Op::Draw {
+            stream: DrawStream::Delay,
+            value: 40,
+        }]));
+        assert_eq!(cursor.next_draw_ranged(DrawStream::Delay, 1, 8), 1);
+        assert!(matches!(
+            cursor.finish(),
+            Err(ReplayError::DrawOutOfRange { value: 40, .. })
+        ));
+    }
+
+    #[test]
+    fn pop_mismatch_poisons_and_sticks() {
+        let mut cursor = ReplayCursor::new(log(vec![
+            Op::Pop {
+                time: SimTime::from(4),
+                seq: 0,
+            },
+            Op::Draw {
+                stream: DrawStream::Delay,
+                value: 2,
+            },
+        ]));
+        cursor.expect_pop(SimTime::from(5), 0);
+        assert!(cursor.poisoned());
+        // Post-poison draws degrade to the range floor and do not consume ops.
+        assert_eq!(cursor.next_draw_ranged(DrawStream::Delay, 1, 8), 1);
+        assert!(matches!(
+            cursor.finish(),
+            Err(ReplayError::PopMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausted_and_unconsumed_logs_error() {
+        let mut empty = ReplayCursor::new(OpLog::new());
+        assert_eq!(empty.next_draw_raw(DrawStream::Corrupt), 0);
+        assert!(matches!(
+            empty.finish(),
+            Err(ReplayError::LogExhausted { .. })
+        ));
+
+        let leftover = ReplayCursor::new(log(vec![Op::Draw {
+            stream: DrawStream::Delay,
+            value: 1,
+        }]));
+        assert!(matches!(
+            leftover.finish(),
+            Err(ReplayError::LogNotExhausted { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn failpoint_mismatch_reports_site() {
+        let mut cursor = ReplayCursor::new(log(vec![Op::Failpoint {
+            time: SimTime::from(9),
+            site: "channel.drop".to_string(),
+            detail: String::new(),
+        }]));
+        cursor.expect_failpoint(SimTime::from(9), "channel.flush");
+        match cursor.finish() {
+            Err(ReplayError::FailpointMismatch { wanted, .. }) => {
+                assert_eq!(wanted, "channel.flush");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -3,8 +3,11 @@ use std::collections::BinaryHeap;
 
 use graybox_clock::ProcessId;
 use graybox_rng::rngs::SmallRng;
-use graybox_rng::{Rng, SeedableRng};
+use graybox_rng::{Rng, RngCore, SeedableRng};
 
+use crate::failpoint::{self, FailpointRegistry};
+use crate::oplog::{DrawStream, Op, OpLog};
+use crate::replay::{ReplayCursor, ReplayError};
 use crate::{
     Channel, Context, Corruptible, Envelope, MsgId, Process, SendRecord, SimTime, StepKind,
     StepRecord, TimerTag,
@@ -16,13 +19,25 @@ use crate::{
 /// randomness), making runs bit-for-bit reproducible. Message delays are
 /// drawn uniformly from `min_delay..=max_delay` ticks, modelling the
 /// paper's "arbitrary but finite transmission delays".
+///
+/// # Delay invariant
+///
+/// A *normalized* config has `min_delay >= 1` (a zero-tick delivery would
+/// let a message loop freeze virtual time, like a zero-delay timer) and
+/// `max_delay >= min_delay` (a non-empty uniform range). Arbitrary field
+/// values are accepted — [`Simulation::new`] normalizes via
+/// [`SimConfig::normalized`], so the degenerate `(0, 0)` behaves exactly
+/// like `(1, 1)` — but code sampling delays asserts the invariant in
+/// debug builds rather than re-clamping silently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Seed for the simulation's RNG.
     pub seed: u64,
-    /// Minimum message delay in ticks (clamped to at least 1).
+    /// Minimum message delay in ticks (normalized to at least 1; see the
+    /// type-level delay invariant).
     pub min_delay: u64,
-    /// Maximum message delay in ticks (clamped to at least `min_delay`).
+    /// Maximum message delay in ticks (normalized to at least
+    /// `min_delay`; see the type-level delay invariant).
     pub max_delay: u64,
     /// Whether channels deliver in FIFO order (the paper's Communication
     /// Spec). Setting this to `false` delivers a *random* in-flight
@@ -51,10 +66,32 @@ impl SimConfig {
         }
     }
 
-    fn delay_range(&self) -> (u64, u64) {
-        let min = self.min_delay.max(1);
-        let max = self.max_delay.max(min);
-        (min, max)
+    /// Returns this config with the delay invariant enforced:
+    /// `min_delay` raised to at least 1, `max_delay` raised to at least
+    /// `min_delay`. Identity for configs already satisfying it.
+    pub fn normalized(&self) -> Self {
+        let min_delay = self.min_delay.max(1);
+        SimConfig {
+            min_delay,
+            max_delay: self.max_delay.max(min_delay),
+            ..*self
+        }
+    }
+
+    /// The `(min, max)` delay bounds.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the delay invariant (the config is
+    /// [`normalized`](SimConfig::normalized)) instead of re-clamping
+    /// silently; [`Simulation::new`] normalizes its config up front.
+    pub fn delay_range(&self) -> (u64, u64) {
+        debug_assert_eq!(
+            self.normalized(),
+            *self,
+            "delay_range requires a normalized SimConfig (Simulation::new normalizes)"
+        );
+        (self.min_delay, self.max_delay)
     }
 }
 
@@ -103,10 +140,80 @@ pub struct SimStats {
     pub skipped: u64,
 }
 
+/// How the simulation sources and witnesses nondeterminism.
+///
+/// `Idle` is the default: draws come straight from the seeded RNG and
+/// failpoint firings only bump counters. `Record` additionally appends
+/// every draw, scheduler pop, and failpoint firing to an [`OpLog`].
+/// `Replay` substitutes recorded draw values for the RNG and verifies
+/// pops and firings against the log.
+#[derive(Debug)]
+enum EntropyMode {
+    Idle,
+    Record(OpLog),
+    Replay(ReplayCursor),
+}
+
+/// An [`RngCore`] view over the simulation's entropy: passes the live RNG
+/// through in `Idle`, logs raw draws in `Record`, substitutes recorded
+/// draws in `Replay`. Used to drive [`Corruptible`] injectors.
+struct EntropyRng<'a, R: RngCore> {
+    live: &'a mut R,
+    entropy: &'a mut EntropyMode,
+    stream: DrawStream,
+}
+
+impl<R: RngCore> RngCore for EntropyRng<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        match &mut *self.entropy {
+            EntropyMode::Idle => self.live.next_u64(),
+            EntropyMode::Record(log) => {
+                let value = self.live.next_u64();
+                log.push(Op::Draw {
+                    stream: self.stream,
+                    value,
+                });
+                value
+            }
+            EntropyMode::Replay(cursor) => cursor.next_draw_raw(self.stream),
+        }
+    }
+}
+
+/// Draws one value in `lo..=hi` from `live`, logging or substituting it
+/// according to `entropy`. Free function so callers can destructure
+/// `Simulation` around other field borrows.
+fn ranged_draw<R: RngCore>(
+    entropy: &mut EntropyMode,
+    live: &mut R,
+    stream: DrawStream,
+    lo: u64,
+    hi: u64,
+) -> u64 {
+    match entropy {
+        EntropyMode::Replay(cursor) => cursor.next_draw_ranged(stream, lo, hi),
+        mode => {
+            let value = live.gen_range(lo..=hi);
+            if let EntropyMode::Record(log) = mode {
+                log.push(Op::Draw { stream, value });
+            }
+            value
+        }
+    }
+}
+
 /// The deterministic discrete-event simulator.
 ///
 /// Owns the processes, the FIFO channels between every ordered pair, and
 /// the event queue. See the crate docs for an end-to-end example.
+///
+/// Every source of nondeterminism — message delays, non-FIFO delivery
+/// picks, corruption entropy, fault targeting — routes through a single
+/// entropy layer that can record an [`OpLog`] of the run
+/// ([`Simulation::start_recording`]) or re-execute one bit-exactly
+/// ([`Simulation::begin_replay`]). Every fault-injection primitive fires
+/// a named failpoint (see [`crate::failpoint`]) counted in the run's
+/// [`FailpointRegistry`].
 #[derive(Debug)]
 pub struct Simulation<P: Process> {
     processes: Vec<P>,
@@ -118,6 +225,9 @@ pub struct Simulation<P: Process> {
     rng: SmallRng,
     config: SimConfig,
     stats: SimStats,
+    entropy: EntropyMode,
+    failpoints: FailpointRegistry,
+    delay_boost: Option<(u64, SimTime)>,
 }
 
 impl<P: Process> Simulation<P> {
@@ -135,6 +245,7 @@ impl<P: Process> Simulation<P> {
                 "process at index {index} must have ProcessId({index})"
             );
         }
+        let config = config.normalized();
         let n = processes.len();
         let mut sim = Simulation {
             processes,
@@ -148,6 +259,9 @@ impl<P: Process> Simulation<P> {
             rng: SmallRng::seed_from_u64(config.seed),
             config,
             stats: SimStats::default(),
+            entropy: EntropyMode::Idle,
+            failpoints: FailpointRegistry::new(),
+            delay_boost: None,
         };
         for pid in ProcessId::all(n) {
             sim.push_event(SimTime::ZERO, EventKind::Start { pid });
@@ -227,9 +341,125 @@ impl<P: Process> Simulation<P> {
         self.push_event(at, EventKind::Client { pid, event });
     }
 
+    // ------------------------------------------------------------------
+    // Entropy: recording, replay, failpoints.
+    // ------------------------------------------------------------------
+
+    /// Starts recording an [`OpLog`] of every draw, scheduler pop, and
+    /// failpoint firing. Call before the first [`Simulation::step`] so
+    /// the log witnesses the whole run.
+    pub fn start_recording(&mut self) {
+        self.entropy = EntropyMode::Record(OpLog::new());
+    }
+
+    /// Stops recording and returns the oplog, or `None` if the
+    /// simulation was not recording.
+    pub fn take_oplog(&mut self) -> Option<OpLog> {
+        match std::mem::replace(&mut self.entropy, EntropyMode::Idle) {
+            EntropyMode::Record(log) => Some(log),
+            other => {
+                self.entropy = other;
+                None
+            }
+        }
+    }
+
+    /// Switches the simulation to replay mode: all subsequent draws are
+    /// substituted from `log` and every pop/failpoint is verified against
+    /// it. Call before the first step; check [`Simulation::finish_replay`]
+    /// at the end.
+    pub fn begin_replay(&mut self, log: OpLog) {
+        self.entropy = EntropyMode::Replay(ReplayCursor::new(log));
+    }
+
+    /// Ends replay mode, returning `Ok(())` only if the run matched the
+    /// log exactly and consumed it fully. `Ok(())` if not replaying.
+    pub fn finish_replay(&mut self) -> Result<(), ReplayError> {
+        match std::mem::replace(&mut self.entropy, EntropyMode::Idle) {
+            EntropyMode::Replay(cursor) => cursor.finish(),
+            other => {
+                self.entropy = other;
+                Ok(())
+            }
+        }
+    }
+
+    /// The first replay divergence seen so far, if replaying.
+    pub fn replay_error(&self) -> Option<&ReplayError> {
+        match &self.entropy {
+            EntropyMode::Replay(cursor) => cursor.error(),
+            _ => None,
+        }
+    }
+
+    /// True when a replay has already diverged. Rejection-sampling loops
+    /// around draws must bail out when this turns true: a poisoned cursor
+    /// degrades every draw to the range minimum, which would spin a
+    /// "redraw until different" loop forever.
+    pub fn replay_poisoned(&self) -> bool {
+        self.replay_error().is_some()
+    }
+
+    /// Per-site hit counters for every failpoint that fired this run.
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        &self.failpoints
+    }
+
+    /// Fires the failpoint `site`: bumps its registry counter, and logs
+    /// (recording) or verifies (replay) the firing. `detail` is only
+    /// evaluated when recording — prefer the [`crate::failpoint!`] macro,
+    /// which builds the closure for you.
+    pub fn fire_failpoint(&mut self, site: &'static str, detail: impl FnOnce() -> String) {
+        self.failpoints.hit(site);
+        match &mut self.entropy {
+            EntropyMode::Idle => {}
+            EntropyMode::Record(log) => log.push(Op::Failpoint {
+                time: self.now,
+                site: site.to_string(),
+                detail: detail(),
+            }),
+            EntropyMode::Replay(cursor) => cursor.expect_failpoint(self.now, site),
+        }
+    }
+
+    /// Draws a fault-targeting value in `lo..=hi` from the caller's own
+    /// RNG, routing it through the entropy layer so it lands in the oplog
+    /// (and is substituted on replay). Campaign runners use this for
+    /// every "which process / channel / message" decision, keeping fault
+    /// targeting replayable without surrendering their separate RNG.
+    pub fn draw_fault_in<R: RngCore>(&mut self, live: &mut R, lo: u64, hi: u64) -> u64 {
+        ranged_draw(&mut self.entropy, live, DrawStream::FaultTarget, lo, hi)
+    }
+
+    /// An [`RngCore`] view over the caller's RNG whose raw draws are
+    /// routed through the entropy layer on the corruption stream. Fault
+    /// injectors that corrupt payloads with external entropy (e.g. the
+    /// garbage injector) use this so the corruption replays bit-exactly.
+    pub fn fault_entropy<'a, R: RngCore>(&'a mut self, live: &'a mut R) -> impl RngCore + 'a {
+        EntropyRng {
+            live,
+            entropy: &mut self.entropy,
+            stream: DrawStream::Corrupt,
+        }
+    }
+
     fn random_delay(&mut self) -> u64 {
-        let (min, max) = self.config.delay_range();
-        self.rng.gen_range(min..=max)
+        let (mut min, mut max) = self.config.delay_range();
+        if let Some((factor, until)) = self.delay_boost {
+            if self.now < until {
+                min = min.saturating_mul(factor);
+                max = max.saturating_mul(factor);
+            } else {
+                self.delay_boost = None;
+            }
+        }
+        ranged_draw(
+            &mut self.entropy,
+            &mut self.rng,
+            DrawStream::Delay,
+            min,
+            max,
+        )
     }
 
     fn enqueue_envelope(&mut self, from: ProcessId, to: ProcessId, payload: P::Msg) -> MsgId {
@@ -254,6 +484,14 @@ impl<P: Process> Simulation<P> {
     /// event queue is empty.
     pub fn step(&mut self) -> Option<StepRecord<P::Client, P::Msg>> {
         let scheduled = self.queue.pop()?;
+        match &mut self.entropy {
+            EntropyMode::Idle => {}
+            EntropyMode::Record(log) => log.push(Op::Pop {
+                time: scheduled.time,
+                seq: scheduled.seq,
+            }),
+            EntropyMode::Replay(cursor) => cursor.expect_pop(scheduled.time, scheduled.seq),
+        }
         self.now = self.now.max(scheduled.time);
         let (pid, kind, ctx) = match scheduled.kind {
             EventKind::Deliver { from, to } => {
@@ -264,7 +502,16 @@ impl<P: Process> Simulation<P> {
                     if len == 0 {
                         None
                     } else {
-                        let index = self.rng.gen_range(0..len);
+                        let hi = u64::try_from(len - 1).unwrap_or(u64::MAX);
+                        let draw = ranged_draw(
+                            &mut self.entropy,
+                            &mut self.rng,
+                            DrawStream::NonFifoPick,
+                            0,
+                            hi,
+                        );
+                        let index =
+                            usize::try_from(draw).expect("non-FIFO pick bounded by queue length");
                         self.channels[from.index()][to.index()].remove(index)
                     }
                 };
@@ -371,22 +618,29 @@ impl<P: Process> Simulation<P> {
 
     /// Injects a message into channel `from → to` — used both for the
     /// "channels improperly initialized" fault and for garbage injection.
-    /// Returns the fresh message id.
+    /// Returns the fresh message id. Fires [`failpoint::MSG_INJECT`].
     pub fn inject_message(&mut self, from: ProcessId, to: ProcessId, payload: P::Msg) -> MsgId {
-        self.enqueue_envelope(from, to, payload)
+        let id = self.enqueue_envelope(from, to, payload);
+        crate::failpoint!(self, failpoint::MSG_INJECT, "inject #{id} on {from}->{to}");
+        id
     }
 
     /// Drops the `index`-th in-flight message of channel `from → to`
     /// (message loss). Returns the dropped payload, if the index existed.
+    /// Fires [`failpoint::CHANNEL_DROP`] when a message was dropped.
     pub fn drop_message(&mut self, from: ProcessId, to: ProcessId, index: usize) -> Option<P::Msg> {
-        self.channels[from.index()][to.index()]
-            .remove(index)
-            .map(|envelope| envelope.payload)
+        let dropped = self.channels[from.index()][to.index()].remove(index);
+        if let Some(envelope) = &dropped {
+            let id = envelope.id;
+            crate::failpoint!(self, failpoint::CHANNEL_DROP, "drop #{id} on {from}->{to}");
+        }
+        dropped.map(|envelope| envelope.payload)
     }
 
     /// Duplicates the `index`-th in-flight message of channel `from → to`
     /// (message duplication). The copy gets a fresh id and its own
     /// delivery schedule. Returns the copy's id if the index existed.
+    /// Fires [`failpoint::CHANNEL_DUPLICATE`] when a copy was made.
     pub fn duplicate_message(
         &mut self,
         from: ProcessId,
@@ -396,12 +650,18 @@ impl<P: Process> Simulation<P> {
         let payload = self.channels[from.index()][to.index()]
             .get(index)
             .map(|envelope| envelope.payload.clone())?;
-        Some(self.enqueue_envelope(from, to, payload))
+        let id = self.enqueue_envelope(from, to, payload);
+        crate::failpoint!(
+            self,
+            failpoint::CHANNEL_DUPLICATE,
+            "duplicate as #{id} on {from}->{to}"
+        );
+        Some(id)
     }
 
     /// Rewrites the `index`-th in-flight message of channel `from → to`
     /// with the given mutation (message corruption). Returns true if the
-    /// index existed.
+    /// index existed. Fires [`failpoint::MSG_CORRUPT`] when it did.
     pub fn mutate_message(
         &mut self,
         from: ProcessId,
@@ -412,6 +672,8 @@ impl<P: Process> Simulation<P> {
         match self.channels[from.index()][to.index()].get_mut(index) {
             Some(envelope) => {
                 mutate(&mut envelope.payload);
+                let id = envelope.id;
+                crate::failpoint!(self, failpoint::MSG_CORRUPT, "mutate #{id} on {from}->{to}");
                 true
             }
             None => false,
@@ -419,11 +681,45 @@ impl<P: Process> Simulation<P> {
     }
 
     /// Flushes channel `from → to`, losing everything in flight. Returns
-    /// the number of messages lost.
+    /// the number of messages lost. Fires [`failpoint::CHANNEL_FLUSH`]
+    /// when at least one message was lost.
     pub fn flush_channel(&mut self, from: ProcessId, to: ProcessId) -> usize {
         let lost = self.channels[from.index()][to.index()].len();
         self.channels[from.index()][to.index()].clear();
+        if lost > 0 {
+            crate::failpoint!(
+                self,
+                failpoint::CHANNEL_FLUSH,
+                "flush {lost} msgs on {from}->{to}"
+            );
+        }
         lost
+    }
+
+    /// Swaps the `i`-th and `j`-th in-flight messages of channel
+    /// `from → to` (message reordering — under FIFO delivery the payloads
+    /// now arrive out of send order). Returns true if both indices
+    /// existed and differed. Fires [`failpoint::CHANNEL_REORDER`].
+    pub fn reorder_messages(&mut self, from: ProcessId, to: ProcessId, i: usize, j: usize) -> bool {
+        let swapped = self.channels[from.index()][to.index()].swap(i, j);
+        if swapped {
+            crate::failpoint!(
+                self,
+                failpoint::CHANNEL_REORDER,
+                "swap #{i}<->#{j} on {from}->{to}"
+            );
+        }
+        swapped
+    }
+
+    /// Multiplies both ends of the message-delay range by `factor` (at
+    /// least 1) for every send scheduled before `until` (a transient
+    /// delay spike — the paper's "arbitrary but finite" delays stressed
+    /// toward the asynchrony bound). Fires [`failpoint::SIM_DELAY`].
+    pub fn boost_delays(&mut self, factor: u64, until: SimTime) {
+        let factor = factor.max(1);
+        self.delay_boost = Some((factor, until));
+        crate::failpoint!(self, failpoint::SIM_DELAY, "delays x{factor} until {until}");
     }
 
     /// Number of messages currently in flight across all channels.
@@ -438,10 +734,23 @@ impl<P: Process> Simulation<P> {
 
 impl<P: Process + Corruptible> Simulation<P> {
     /// Transiently corrupts the state of `pid` with arbitrary type-valid
-    /// values (the paper's strongest process fault).
+    /// values (the paper's strongest process fault). Fires
+    /// [`failpoint::PROCESS_CORRUPT`]; the corruption entropy is drawn
+    /// through the oplog layer, so recorded corruptions replay bit-exactly.
     pub fn corrupt_process(&mut self, pid: ProcessId) {
-        let Simulation { processes, rng, .. } = self;
-        processes[pid.index()].corrupt(rng);
+        crate::failpoint!(self, failpoint::PROCESS_CORRUPT, "corrupt state of {pid}");
+        let Simulation {
+            processes,
+            rng,
+            entropy,
+            ..
+        } = self;
+        let mut source = EntropyRng {
+            live: rng,
+            entropy,
+            stream: DrawStream::Corrupt,
+        };
+        processes[pid.index()].corrupt(&mut source);
     }
 }
 
@@ -451,12 +760,29 @@ where
 {
     /// Corrupts the payload of the `index`-th in-flight message of channel
     /// `from → to` with arbitrary type-valid content. Returns true if the
-    /// index existed.
+    /// index existed. Fires [`failpoint::MSG_CORRUPT`]; the corruption
+    /// entropy is drawn through the oplog layer.
     pub fn corrupt_message(&mut self, from: ProcessId, to: ProcessId, index: usize) -> bool {
-        let Simulation { channels, rng, .. } = self;
+        let Simulation {
+            channels,
+            rng,
+            entropy,
+            ..
+        } = self;
         match channels[from.index()][to.index()].get_mut(index) {
             Some(envelope) => {
-                envelope.payload.corrupt(rng);
+                let mut source = EntropyRng {
+                    live: rng,
+                    entropy,
+                    stream: DrawStream::Corrupt,
+                };
+                envelope.payload.corrupt(&mut source);
+                let id = envelope.id;
+                crate::failpoint!(
+                    self,
+                    failpoint::MSG_CORRUPT,
+                    "corrupt #{id} on {from}->{to}"
+                );
                 true
             }
             None => false,
@@ -665,6 +991,144 @@ mod tests {
     #[should_panic(expected = "must have ProcessId")]
     fn mismatched_ids_panic() {
         let _ = Simulation::new(vec![Node::new(1)], SimConfig::default());
+    }
+
+    #[test]
+    fn degenerate_zero_delay_config_normalizes_to_one_tick() {
+        let degenerate = SimConfig {
+            seed: 5,
+            min_delay: 0,
+            max_delay: 0,
+            fifo: true,
+        };
+        assert_eq!(degenerate.normalized().min_delay, 1);
+        assert_eq!(degenerate.normalized().max_delay, 1);
+        // Normalization is idempotent and the identity on valid configs.
+        assert_eq!(
+            degenerate.normalized().normalized(),
+            degenerate.normalized()
+        );
+        assert_eq!(SimConfig::default().normalized(), SimConfig::default());
+
+        // A simulation built from the degenerate config behaves exactly
+        // like one built from (1, 1): every delivery takes one tick.
+        let mut sim = Simulation::new(vec![Node::new(0), Node::new(1)], degenerate);
+        sim.inject_message(ProcessId(0), ProcessId(1), "ping".into());
+        let records = sim.run_until(SimTime::from(10));
+        let delivery = records.iter().find(|r| r.is_delivery()).unwrap();
+        assert_eq!(delivery.time, SimTime::from(1));
+        // min > max is normalized too (max raised to min).
+        let inverted = SimConfig {
+            min_delay: 9,
+            max_delay: 2,
+            ..SimConfig::default()
+        };
+        assert_eq!(inverted.normalized().max_delay, 9);
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_exactly_and_detects_divergence() {
+        let run = |entropy: &str, log: Option<crate::OpLog>| {
+            let mut sim = two_nodes(31);
+            match (entropy, log) {
+                ("record", _) => sim.start_recording(),
+                ("replay", Some(log)) => sim.begin_replay(log),
+                _ => {}
+            }
+            sim.schedule_client(SimTime::from(1), ProcessId(0), "hello".into());
+            sim.inject_message(ProcessId(1), ProcessId(0), "ping".into());
+            let records: Vec<String> = sim
+                .run_until(SimTime::from(500))
+                .iter()
+                .map(|r| format!("{} {} {:?}", r.time, r.pid, r.kind))
+                .collect();
+            (records, sim)
+        };
+
+        let (records_a, mut sim_a) = run("record", None);
+        let log = sim_a.take_oplog().expect("was recording");
+        assert!(log.failpoint_firings(failpoint::MSG_INJECT) >= 1);
+
+        // Bit-exact replay: same step stream, clean finish, and the idle
+        // run (live RNG, same seed) agrees too.
+        let (records_b, mut sim_b) = run("replay", Some(log.clone()));
+        assert_eq!(records_a, records_b);
+        assert!(sim_b.finish_replay().is_ok());
+        let (records_idle, _) = run("idle", None);
+        assert_eq!(records_a, records_idle);
+
+        // Text round trip preserves replayability.
+        let reparsed = crate::OpLog::parse(&log.to_text()).unwrap();
+        let (_, mut sim_c) = run("replay", Some(reparsed));
+        assert!(sim_c.finish_replay().is_ok());
+
+        // A diverging run (extra injected message) is caught, not silently
+        // replayed.
+        let mut sim_d = two_nodes(31);
+        sim_d.begin_replay(log);
+        sim_d.schedule_client(SimTime::from(1), ProcessId(0), "hello".into());
+        sim_d.inject_message(ProcessId(1), ProcessId(0), "ping".into());
+        sim_d.inject_message(ProcessId(0), ProcessId(1), "rogue".into());
+        sim_d.run_until(SimTime::from(500));
+        assert!(sim_d.finish_replay().is_err());
+    }
+
+    #[test]
+    fn reorder_messages_swaps_fifo_delivery_order() {
+        let mut sim = two_nodes(12);
+        sim.inject_message(ProcessId(0), ProcessId(1), "first".into());
+        sim.inject_message(ProcessId(0), ProcessId(1), "second".into());
+        assert!(sim.reorder_messages(ProcessId(0), ProcessId(1), 0, 1));
+        assert!(!sim.reorder_messages(ProcessId(0), ProcessId(1), 0, 5));
+        assert!(!sim.reorder_messages(ProcessId(0), ProcessId(1), 1, 1));
+        sim.run_until(SimTime::from(100));
+        let got: Vec<&str> = sim
+            .process(ProcessId(1))
+            .received
+            .iter()
+            .map(|(_, m)| m.as_str())
+            .collect();
+        assert_eq!(got, vec!["second", "first"]);
+        assert_eq!(sim.failpoints().hits(failpoint::CHANNEL_REORDER), 1);
+    }
+
+    #[test]
+    fn boosted_delays_slow_deliveries_until_expiry() {
+        let mut sim = two_nodes(13);
+        sim.boost_delays(50, SimTime::from(10));
+        sim.inject_message(ProcessId(0), ProcessId(1), "slow".into());
+        let records = sim.run_until(SimTime::from(10_000));
+        let delivery = records.iter().find(|r| r.is_delivery()).unwrap();
+        // Default delays (1, 8) boosted x50 ⇒ drawn from 50..=400: the
+        // spike is observable regardless of the draw.
+        assert!(delivery.time >= SimTime::from(50), "got {}", delivery.time);
+        assert_eq!(sim.failpoints().hits(failpoint::SIM_DELAY), 1);
+
+        // After expiry the boost is gone: inject at a later time.
+        let resume_at = sim.now();
+        sim.inject_message(ProcessId(0), ProcessId(1), "fast".into());
+        let records = sim.run_until(SimTime::from(20_000));
+        let delivery = records.iter().find(|r| r.is_delivery()).unwrap();
+        assert!(delivery.time.since(resume_at) <= 8);
+    }
+
+    #[test]
+    fn failpoint_registry_counts_every_primitive() {
+        let mut sim = two_nodes(14);
+        sim.inject_message(ProcessId(0), ProcessId(1), "a".into());
+        sim.inject_message(ProcessId(0), ProcessId(1), "b".into());
+        sim.duplicate_message(ProcessId(0), ProcessId(1), 0);
+        sim.mutate_message(ProcessId(0), ProcessId(1), 1, |m| *m = "x".into());
+        sim.drop_message(ProcessId(0), ProcessId(1), 0);
+        sim.flush_channel(ProcessId(0), ProcessId(1));
+        sim.flush_channel(ProcessId(0), ProcessId(1)); // empty: no firing
+        let fp = sim.failpoints();
+        assert_eq!(fp.hits(failpoint::MSG_INJECT), 2);
+        assert_eq!(fp.hits(failpoint::CHANNEL_DUPLICATE), 1);
+        assert_eq!(fp.hits(failpoint::MSG_CORRUPT), 1);
+        assert_eq!(fp.hits(failpoint::CHANNEL_DROP), 1);
+        assert_eq!(fp.hits(failpoint::CHANNEL_FLUSH), 1);
+        assert_eq!(fp.total(), 6);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! **Online safety oracle**: incremental `TME_Spec` checking over a run
+//! as it is recorded, step by step.
+//!
+//! The batch checkers in [`tme_spec`](crate::tme_spec) and
+//! [`convergence`](crate::convergence) analyze a finished [`Trace`];
+//! replay and shrinking want a verdict *while* the run executes, without
+//! cloning the trace after every step. [`OnlineOracle`] observes each
+//! [`TraceStep`] as the recorder produces it and maintains the ME1
+//! (mutual exclusion) violation count and fault chronology incrementally
+//! — by construction it agrees exactly with
+//! [`tme_spec::check_me1`](crate::tme_spec::check_me1) over the same
+//! steps, which the campaign runner debug-asserts.
+
+use graybox_simnet::SimTime;
+
+use crate::trace::{Trace, TraceStep};
+
+/// Incremental observer of a recorded run (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineOracle {
+    steps_seen: usize,
+    me1_violations: usize,
+    last_me1_violation: Option<SimTime>,
+    last_fault: Option<SimTime>,
+}
+
+impl OnlineOracle {
+    /// A fresh oracle that has observed nothing.
+    pub fn new() -> Self {
+        OnlineOracle::default()
+    }
+
+    /// Observes one recorded step (event or fault marker). Call in
+    /// recording order for every step of the run.
+    pub fn observe(&mut self, step: &TraceStep) {
+        self.steps_seen += 1;
+        if step.kind.is_fault() {
+            self.last_fault = Some(step.time);
+        }
+        let eating = step
+            .snapshots
+            .iter()
+            .filter(|snap| snap.mode.is_eating())
+            .count();
+        if eating > 1 {
+            self.me1_violations += 1;
+            self.last_me1_violation = Some(step.time);
+        }
+    }
+
+    /// Number of steps observed so far.
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// ME1 violations observed so far (steps with more than one process
+    /// eating).
+    pub fn me1_violations(&self) -> usize {
+        self.me1_violations
+    }
+
+    /// Time of the most recent ME1 violation, if any.
+    pub fn last_me1_violation(&self) -> Option<SimTime> {
+        self.last_me1_violation
+    }
+
+    /// Time of the most recent fault marker, if any.
+    pub fn last_fault(&self) -> Option<SimTime> {
+        self.last_fault
+    }
+
+    /// True when every observed ME1 violation is at or before the last
+    /// observed fault — i.e. safety has held on the whole post-fault
+    /// suffix so far. Trivially true with no violations.
+    pub fn safe_suffix(&self) -> bool {
+        match (self.last_me1_violation, self.last_fault) {
+            (None, _) => true,
+            (Some(violation), Some(fault)) => violation <= fault,
+            (Some(_), None) => false,
+        }
+    }
+
+    /// Checks this oracle against the batch checker over a finished
+    /// trace: the counts must agree if `observe` saw exactly the trace's
+    /// steps. Used as a `debug_assert!` by the campaign runner.
+    pub fn agrees_with(&self, trace: &Trace) -> bool {
+        self.steps_seen == trace.steps().len()
+            && self.me1_violations == crate::tme_spec::check_me1(trace).violations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecorder;
+    use graybox_clock::ProcessId;
+    use graybox_simnet::{SimConfig, Simulation};
+    use graybox_tme::{Implementation, Mode, TmeProcess, Workload, WorkloadConfig};
+
+    fn oracle_and_trace(seed: u64) -> (OnlineOracle, Trace) {
+        let n = 3;
+        let procs = (0..n)
+            .map(|i| TmeProcess::new(Implementation::RicartAgrawala, ProcessId(i), n as usize))
+            .collect();
+        let mut sim = Simulation::new(procs, SimConfig::with_seed(seed));
+        Workload::generate(WorkloadConfig::default(), seed).apply(&mut sim);
+        let mut recorder = TraceRecorder::new(&sim);
+        let mut oracle = OnlineOracle::new();
+        while sim.peek_time().is_some_and(|t| t <= SimTime::from(2_000)) {
+            if !recorder.step(&mut sim) {
+                break;
+            }
+            oracle.observe(recorder.last_step().expect("just recorded"));
+        }
+        (oracle, recorder.into_trace())
+    }
+
+    #[test]
+    fn online_counts_agree_with_batch_checker() {
+        for seed in [1, 7, 42] {
+            let (oracle, trace) = oracle_and_trace(seed);
+            assert!(oracle.steps_seen() > 0);
+            assert!(oracle.agrees_with(&trace), "disagreement at seed {seed}");
+            assert_eq!(oracle.me1_violations(), 0);
+            assert!(oracle.safe_suffix());
+        }
+    }
+
+    #[test]
+    fn fabricated_violation_is_counted_and_scoped() {
+        let (mut oracle, trace) = oracle_and_trace(5);
+        let mut step = trace.steps()[trace.steps().len() / 2].clone();
+        for snap in &mut step.snapshots {
+            snap.mode = Mode::Eating;
+        }
+        oracle.observe(&step);
+        assert_eq!(oracle.me1_violations(), 1);
+        assert_eq!(oracle.last_me1_violation(), Some(step.time));
+        // No fault marker seen, so the violation is unexcused.
+        assert!(!oracle.safe_suffix());
+        assert!(!oracle.agrees_with(&trace));
+    }
+}

@@ -36,6 +36,14 @@ impl Implementation {
             Implementation::AltRicartAgrawala => "Alt_ME",
         }
     }
+
+    /// The implementation with that [`label`](Implementation::label)
+    /// (inverse of it), for deserializing repro files.
+    pub fn from_label(label: &str) -> Option<Implementation> {
+        Implementation::ALL
+            .into_iter()
+            .find(|imp| imp.label() == label)
+    }
 }
 
 impl fmt::Display for Implementation {

@@ -25,7 +25,7 @@
 //! | [`tme`] | `graybox-tme` | `Lspec` interface + Ricart–Agrawala, Lamport, and an independent third implementation |
 //! | [`spec`] | `graybox-spec` | trace checkers for every conjunct of `Lspec` and `TME_Spec` |
 //! | [`wrapper`] | `graybox-wrapper` | the graybox wrapper `W` and its timeout refinement `W'` |
-//! | [`faults`] | `graybox-faults` | fault plans, the §4 deadlock scenario, campaign runner |
+//! | [`faults`] | `graybox-faults` | failpoint-keyed fault plans, the §4 deadlock scenario, campaign runner, replay + schedule shrinker |
 //! | [`experiments`] | `graybox-experiments` | the harness regenerating every table/figure in EXPERIMENTS.md |
 //!
 //! ## Quickstart

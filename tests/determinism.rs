@@ -4,7 +4,10 @@
 //! seed; these tests pin that property across the whole stack, including
 //! fault targeting and trace recording.
 
-use graybox::faults::{run_tme, run_tme_trace, scenarios, FaultKind, FaultPlan, RunConfig};
+use graybox::faults::{
+    replay_campaign, run_campaign, run_tme, run_tme_trace, scenarios, FaultKind, FaultPlan,
+    RunConfig,
+};
 use graybox::spec::TraceEventKind;
 use graybox::tme::Implementation;
 use graybox::wrapper::WrapperConfig;
@@ -55,6 +58,45 @@ fn scenario_runs_are_reproducible() {
     assert_eq!(a.verdict, b.verdict);
     assert_eq!(a.last_grant_at, b.last_grant_at);
     assert_eq!(trace_a.steps().len(), trace_b.steps().len());
+}
+
+/// The bit-exact determinism property behind replay: the same seed and
+/// fault plan produce **byte-identical operation logs** across fresh
+/// runs — for every fault kind, FIFO and non-FIFO, over ≥50 seeds. (The
+/// oplog records every scheduler pop, RNG draw, and failpoint firing, so
+/// byte equality of its text form is full-run bit-exactness, much
+/// stronger than matching verdicts.)
+#[test]
+fn oplogs_are_bit_exact_per_seed_for_every_kind_and_ordering() {
+    for seed in 0..50u64 {
+        for kind in FaultKind::ALL {
+            for fifo in [true, false] {
+                let mut config = RunConfig::new(3, Implementation::RicartAgrawala)
+                    .wrapper(WrapperConfig::timeout(8))
+                    .seed(seed)
+                    .faults(FaultPlan::burst(kind, 40.into(), 3));
+                if !fifo {
+                    config = config.non_fifo();
+                }
+                let a = run_campaign(&config);
+                let b = run_campaign(&config);
+                assert_eq!(
+                    a.oplog.to_text(),
+                    b.oplog.to_text(),
+                    "oplogs diverged: seed {seed}, kind {kind}, fifo {fifo}"
+                );
+                assert_eq!(a.outcome.verdict, b.outcome.verdict);
+                assert_eq!(a.failpoints, b.failpoints);
+                // Spot-check the replay path across the matrix too.
+                if seed % 10 == 0 {
+                    let replayed = replay_campaign(&config, &a.oplog).unwrap_or_else(|e| {
+                        panic!("replay diverged: seed {seed}, kind {kind}, fifo {fifo}: {e}")
+                    });
+                    assert_eq!(replayed.outcome.verdict, a.outcome.verdict);
+                }
+            }
+        }
+    }
 }
 
 #[test]
