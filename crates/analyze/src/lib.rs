@@ -39,6 +39,7 @@
 
 pub mod absint;
 pub mod footprint;
+pub mod independence;
 pub mod interference;
 pub mod locality;
 pub mod report;
@@ -47,6 +48,7 @@ pub mod wrapper;
 
 pub use absint::{diagnose_command, diagnose_program, CommandDiagnosis, Interval};
 pub use footprint::{command_footprint, program_footprints, Footprint, OpaqueCommand};
+pub use independence::independence_report;
 pub use interference::{check_interference, Conflict, ConflictKind};
 pub use locality::{check_locality, Access, LocalityViolation, Partition, VarClass};
 pub use report::{Finding, Report, Severity};

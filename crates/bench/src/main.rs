@@ -40,12 +40,15 @@ use graybox_simnet::{BareSimulation, Context, Process, SimConfig, SimTime, Simul
 /// A bench instance: initial states plus edge list.
 type Instance = (Vec<usize>, Vec<(usize, usize)>);
 
-/// One timed measurement.
+/// One timed measurement. `reduction` records the state-space reduction
+/// a row ran under (`None` = unreduced), so a BENCH_core.json reader
+/// can tell quotient rows from full-space rows without parsing names.
 struct Sample {
     name: String,
     engine: &'static str,
     iters: u32,
     ns_per_iter: f64,
+    reduction: Option<String>,
 }
 
 /// Times `f` for a number of iterations calibrated to roughly
@@ -69,6 +72,7 @@ fn bench<R>(name: &str, engine: &'static str, target_ms: u64, mut f: impl FnMut(
         engine,
         iters,
         ns_per_iter: total as f64 / f64::from(iters),
+        reduction: None,
     };
     eprintln!(
         "  {:<44} {:<9} {:>12.0} ns/iter  ({} iters)",
@@ -88,6 +92,7 @@ fn bench_once<R>(name: &str, engine: &'static str, f: impl FnOnce() -> R) -> (Sa
         engine,
         iters: 1,
         ns_per_iter: start.elapsed().as_nanos() as f64,
+        reduction: None,
     };
     eprintln!(
         "  {:<44} {:<9} {:>12.0} ns/iter  ({} iters)",
@@ -201,6 +206,12 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
     let mut samples: Vec<Sample> = Vec::new();
+    // Rows and gates this run could not measure (and why) — recorded in
+    // the JSON so a flat-looking report is distinguishable from one
+    // whose parallel gates never ran. The headline case: every recorded
+    // run so far came from a 1-core container, where serial-vs-parallel
+    // pairs are the same engine twice.
+    let mut skipped: Vec<String> = Vec::new();
 
     // --- Stabilization decision, positive instances (the headline). ---
     for &n in sizes {
@@ -295,6 +306,11 @@ fn main() {
             is_stabilizing_to(&sys, &sys).holds()
         };
         let workers = available_workers();
+        if workers <= 1 {
+            skipped.push(format!(
+                "sweep/{seeds}x(n={n}) parallel-vs-serial gate: skipped (1 core, rows are the same engine)"
+            ));
+        }
         let name = format!("sweep/{seeds}x(n={n})");
         samples.push(bench(&name, "serial", target_ms, || {
             sweep_seeds_on(0..seeds, 1, decide).len()
@@ -471,6 +487,8 @@ fn main() {
                 parallel_sys.system(),
                 "sharded 3proc compile diverges at {threads} workers"
             );
+        } else {
+            skipped.push("gcl_compile/3proc serial-vs-parallel pair: skipped (1 core)".to_string());
         }
     }
 
@@ -499,6 +517,93 @@ fn main() {
             samples.push(sample);
             assert_eq!(verdicts, scaled, "3proc verdicts diverge at {k} workers");
         }
+
+        // --- Symmetry-reduced counterpart: the same verdicts over the
+        // process-relabeling quotient. The self-asserting gate: bit-equal
+        // verdicts at >= 5x fewer interned states than the 7 558 272-state
+        // full space (the relabeling group alone gives exactly 6x here —
+        // no reachable state survives a non-identity permutation). ---
+        let tme = tme_abstract::build_n(3).expect("3proc builds");
+        let (mut sample, reduced) =
+            bench_once("tme_exhaustive/3proc_reduced", "packed-sym", || {
+                tme.reduced_check().expect("3proc reduced check runs")
+            });
+        assert_eq!(
+            reduced.verdicts, verdicts,
+            "3proc reduced verdicts diverge from the full space"
+        );
+        assert!(
+            reduced.num_canonical * 5 <= 7_558_272,
+            "symmetry quotient regressed: {} canonical states (gate: >= 5x cut)",
+            reduced.num_canonical
+        );
+        sample.reduction = Some(format!(
+            "symmetry quotient |G|={}: {} canonical of {} states",
+            reduced.group_order, reduced.num_canonical, verdicts.num_states
+        ));
+        samples.push(sample);
+
+        // --- The n = 4 unlock: quotient BFS over the init-reachable
+        // fragment of the ~4.2e12-state raw product. First the
+        // compile-shaped row (interning the canonical legitimate
+        // fragment), then the full reachable-quotient verdict, with the
+        // two cross-checked against each other. ---
+        let tme4 = tme_abstract::build_n(4).expect("4proc builds");
+        let sym4 = tme_abstract::nproc_symmetry(4, true);
+        let (mut sample, reach_words) = bench_once("gcl_compile/4proc", "packed-sym", || {
+            tme4.wrapped_program()
+                .sym_reach_words(&sym4, &[0], 1 << 27, None::<&fn(u64) -> bool>)
+                .expect("4proc quotient BFS runs")
+        });
+        sample.reduction = Some(format!(
+            "symmetry quotient |G|={}: {} canonical reachable states",
+            sym4.order(),
+            reach_words.words.len()
+        ));
+        samples.push(sample);
+        let (mut sample, reach) = bench_once("tme_exhaustive/4proc_reduced", "packed-sym", || {
+            tme4.reachable_check(1 << 27)
+                .expect("4proc reachable check runs")
+        });
+        assert!(
+            reach.me1 && reach.deadlock_quiescent && reach.deadlock_illegitimate,
+            "4proc verdicts regressed: {reach:?}"
+        );
+        assert!(
+            reach.recovery_steps.is_some(),
+            "4proc recovery from the deadlock regressed"
+        );
+        assert_eq!(
+            reach_words.words.len(),
+            reach.num_canonical_legitimate,
+            "4proc compile row disagrees with the reachable check"
+        );
+        sample.reduction = Some(format!(
+            "symmetry quotient |G|={}: {} canonical legitimate of {} raw states",
+            reach.group_order, reach.num_canonical_legitimate, reach.num_states
+        ));
+        samples.push(sample);
+    }
+
+    // --- Reduced 2proc verdict (all modes, including smoke — the CI
+    // bench-smoke lane's coverage of the reduction layer): must be
+    // bit-equal to the unreduced fair check. ---
+    {
+        let tme = tme_abstract::build_n(2).expect("2proc builds");
+        let full = tme.check().expect("2proc check runs");
+        let (mut sample, reduced) =
+            bench_once("tme_exhaustive/2proc_reduced", "packed-sym", || {
+                tme.reduced_check().expect("2proc reduced check runs")
+            });
+        assert_eq!(
+            reduced.verdicts, full,
+            "2proc reduced verdicts diverge from the full space"
+        );
+        sample.reduction = Some(format!(
+            "symmetry quotient |G|={}: {} canonical of {} states",
+            reduced.group_order, reduced.num_canonical, full.num_states
+        ));
+        samples.push(sample);
     }
 
     // --- Aggregate speedups (baseline ns / new ns, per bench name). ---
@@ -557,6 +662,22 @@ fn main() {
                 serial / parallel,
             ));
         }
+        // Wall-clock payoff of the symmetry quotient on the 3proc check.
+        let row = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.ns_per_iter)
+        };
+        if let (Some(full), Some(reduced)) = (
+            row("tme_exhaustive/3proc"),
+            row("tme_exhaustive/3proc_reduced"),
+        ) {
+            speedups.push((
+                "tme_exhaustive/3proc/reduced-vs-full".to_string(),
+                full / reduced,
+            ));
+        }
     }
 
     eprintln!();
@@ -579,13 +700,27 @@ fn main() {
     ));
     json.push_str("  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n");
     for (i, s) in samples.iter().enumerate() {
+        let reduction = s
+            .reduction
+            .as_deref()
+            .map_or("null".to_string(), |r| format!("\"{r}\""));
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"iters\": {}, \
+             \"ns_per_iter\": {:.1}, \"reduction\": {}}}{}\n",
             s.name,
             s.engine,
             s.iters,
             s.ns_per_iter,
+            reduction,
             if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"skipped\": [\n");
+    for (i, reason) in skipped.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\"{}\n",
+            reason,
+            if i + 1 < skipped.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n  \"speedups\": {\n");

@@ -62,7 +62,10 @@
 //! ```
 
 pub mod ir;
+pub mod por;
+mod reduce;
 pub mod reference;
+pub mod sym;
 
 use std::collections::HashMap;
 use std::fmt;

@@ -1,0 +1,265 @@
+//! Static ample-set partial-order reduction for reachable exploration.
+//!
+//! The reduction is driven entirely by the expression IR's footprints —
+//! zero state enumeration. Two commands are *independent* when their
+//! footprints are disjoint (neither writes a variable the other reads
+//! *or* writes, guard reads included); disjoint footprints give strong
+//! independence: the commands commute **and** cannot enable or disable
+//! each other. A command is a *safe singleton ample* candidate when it
+//! has IR, writes no visible variable, and is independent of every other
+//! command — then at any state where it is enabled, exploring only its
+//! edge preserves deadlocks and reachability of predicates over the
+//! visible variables, provided the exploration-time cycle proviso holds
+//! (the explorer in [`reduce`](super::reduce) accepts an ample edge only
+//! when it strictly advances the BFS level). DESIGN.md §13 spells out
+//! the provisos; `tests/reduction_differential.rs` compares reduced and
+//! full explorations on hundreds of seeded programs.
+
+use super::ir::IrCommand;
+use super::{Behavior, Program, VarRef};
+
+/// The symmetric command-independence relation inferred from IR
+/// footprints. Closure commands (no IR) conservatively conflict with
+/// everything, including themselves.
+#[derive(Debug, Clone)]
+pub struct Independence {
+    num_commands: usize,
+    /// Row-major bit matrix: bit `a * num_commands + b` set ⇔ `a` and
+    /// `b` are independent. The diagonal is always dependent.
+    bits: Vec<u64>,
+}
+
+/// `(reads ∪ writes, writes)` of one command as variable-index bitsets,
+/// or `None` for closure commands.
+fn footprint(command: &IrCommand, var_words: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut touches = vec![0u64; var_words];
+    let mut writes = vec![0u64; var_words];
+    let mut mark_touch = |v: VarRef| touches[v.index() / 64] |= 1u64 << (v.index() % 64);
+    command.guard.visit_reads(&mut mark_touch);
+    let mut reads = vec![0u64; var_words];
+    let mut mark_read = |v: VarRef| reads[v.index() / 64] |= 1u64 << (v.index() % 64);
+    let mut mark_write = |v: VarRef| writes[v.index() / 64] |= 1u64 << (v.index() % 64);
+    for stmt in &command.body {
+        stmt.visit_footprint(&mut mark_read, &mut mark_write);
+    }
+    for ((t, &r), &w) in touches.iter_mut().zip(&reads).zip(&writes) {
+        *t |= r | w;
+    }
+    (touches, writes)
+}
+
+fn disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| x & y == 0)
+}
+
+impl Independence {
+    /// Infers the relation from a program's IR commands.
+    pub fn from_program(program: &Program) -> Self {
+        let ncmd = program.commands.len();
+        let var_words = program.vars.len().div_ceil(64).max(1);
+        let prints: Vec<Option<(Vec<u64>, Vec<u64>)>> = program
+            .commands
+            .iter()
+            .map(|command| match &command.behavior {
+                Behavior::Closure { .. } => None,
+                Behavior::Ir(cmd) => Some(footprint(cmd, var_words)),
+            })
+            .collect();
+        let mut indep = Independence {
+            num_commands: ncmd,
+            bits: vec![0u64; (ncmd * ncmd).div_ceil(64).max(1)],
+        };
+        for a in 0..ncmd {
+            let Some((touches_a, writes_a)) = &prints[a] else {
+                continue;
+            };
+            for (b, print_b) in prints.iter().enumerate().skip(a + 1) {
+                let Some((touches_b, writes_b)) = print_b else {
+                    continue;
+                };
+                if disjoint(writes_a, touches_b) && disjoint(writes_b, touches_a) {
+                    indep.set(a, b);
+                    indep.set(b, a);
+                }
+            }
+        }
+        indep
+    }
+
+    fn set(&mut self, a: usize, b: usize) {
+        let at = a * self.num_commands + b;
+        self.bits[at / 64] |= 1u64 << (at % 64);
+    }
+
+    /// Number of commands the relation covers.
+    pub fn num_commands(&self) -> usize {
+        self.num_commands
+    }
+
+    /// Are commands `a` and `b` independent (disjoint footprints)?
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn independent(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.num_commands && b < self.num_commands);
+        let at = a * self.num_commands + b;
+        self.bits[at / 64] & (1u64 << (at % 64)) != 0
+    }
+
+    /// Number of unordered independent pairs.
+    pub fn num_independent_pairs(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+            / 2
+    }
+
+    /// Number of unordered distinct pairs overall.
+    pub fn num_pairs(&self) -> usize {
+        self.num_commands * self.num_commands.saturating_sub(1) / 2
+    }
+}
+
+/// The static side of an ample-set reduction: which commands may serve
+/// as singleton ample sets.
+#[derive(Debug, Clone)]
+pub struct PorSpec {
+    safe: Vec<bool>,
+}
+
+impl PorSpec {
+    /// Marks each command safe when it (a) has IR, (b) writes no
+    /// variable in `visible`, and (c) is independent of every other
+    /// command. `visible` lists the variables the checked properties may
+    /// mention — reachability of predicates over them survives the
+    /// reduction.
+    pub fn new(program: &Program, independence: &Independence, visible: &[VarRef]) -> Self {
+        let ncmd = program.commands.len();
+        assert_eq!(
+            independence.num_commands(),
+            ncmd,
+            "relation/program mismatch"
+        );
+        let var_words = program.vars.len().div_ceil(64).max(1);
+        let mut visible_set = vec![0u64; var_words];
+        for v in visible {
+            visible_set[v.index() / 64] |= 1u64 << (v.index() % 64);
+        }
+        let safe = (0..ncmd)
+            .map(|c| {
+                let Behavior::Ir(cmd) = &program.commands[c].behavior else {
+                    return false;
+                };
+                let (_, writes) = footprint(cmd, var_words);
+                disjoint(&writes, &visible_set)
+                    && (0..ncmd).all(|d| d == c || independence.independent(c, d))
+            })
+            .collect();
+        PorSpec { safe }
+    }
+
+    /// May command `c` serve as a singleton ample set?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn safe(&self, c: usize) -> bool {
+        self.safe[c]
+    }
+
+    /// Number of safe commands.
+    pub fn num_safe(&self) -> usize {
+        self.safe.iter().filter(|&&s| s).count()
+    }
+
+    /// Number of commands covered.
+    pub fn num_commands(&self) -> usize {
+        self.safe.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ir::{Expr, IrCommand, Stmt};
+    use super::*;
+
+    /// Two disjoint counters plus one command coupling them.
+    fn program() -> Program {
+        let mut p = Program::new();
+        let x = p.var("x", 4);
+        let y = p.var("y", 4);
+        p.command_ir(IrCommand::new(
+            "bump_x",
+            Expr::var(x).lt(Expr::int(3)),
+            vec![Stmt::assign(x, Expr::var(x).add(Expr::int(1)))],
+        ));
+        p.command_ir(IrCommand::new(
+            "bump_y",
+            Expr::var(y).lt(Expr::int(3)),
+            vec![Stmt::assign(y, Expr::var(y).add(Expr::int(1)))],
+        ));
+        p.command_ir(IrCommand::new(
+            "couple",
+            Expr::var(x).eq(Expr::int(3)),
+            vec![Stmt::assign(y, Expr::int(0))],
+        ));
+        p
+    }
+
+    #[test]
+    fn disjoint_footprints_are_independent() {
+        let p = program();
+        let indep = Independence::from_program(&p);
+        assert!(indep.independent(0, 1));
+        assert!(!indep.independent(0, 2)); // couple reads x
+        assert!(!indep.independent(1, 2)); // couple writes y
+        assert!(!indep.independent(0, 0)); // diagonal is dependent
+        assert_eq!(indep.num_independent_pairs(), 1);
+        assert_eq!(indep.num_pairs(), 3);
+    }
+
+    #[test]
+    fn closure_commands_conflict_with_everything() {
+        let mut p = program();
+        let x = super::super::VarRef::new(0);
+        p.command("opaque", move |s| s.get(x) == 0, move |s| s.set(x, 1));
+        let indep = Independence::from_program(&p);
+        for other in 0..3 {
+            assert!(!indep.independent(3, other));
+        }
+    }
+
+    #[test]
+    fn safe_commands_are_invisible_and_fully_independent() {
+        let p = program();
+        let indep = Independence::from_program(&p);
+        let x = super::super::VarRef::new(0);
+        // No command is independent of all others here.
+        let por = PorSpec::new(&p, &indep, &[]);
+        assert_eq!(por.num_safe(), 0);
+
+        // Drop the coupling command: both counters become safe — until
+        // their variable is visible.
+        let mut q = Program::new();
+        let qx = q.var("x", 4);
+        let qy = q.var("y", 4);
+        q.command_ir(IrCommand::new(
+            "bump_x",
+            Expr::var(qx).lt(Expr::int(3)),
+            vec![Stmt::assign(qx, Expr::var(qx).add(Expr::int(1)))],
+        ));
+        q.command_ir(IrCommand::new(
+            "bump_y",
+            Expr::var(qy).lt(Expr::int(3)),
+            vec![Stmt::assign(qy, Expr::var(qy).add(Expr::int(1)))],
+        ));
+        let qindep = Independence::from_program(&q);
+        let all_safe = PorSpec::new(&q, &qindep, &[]);
+        assert_eq!(all_safe.num_safe(), 2);
+        let x_visible = PorSpec::new(&q, &qindep, &[x]);
+        assert!(!x_visible.safe(0));
+        assert!(x_visible.safe(1));
+    }
+}

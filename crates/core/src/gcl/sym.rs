@@ -1,0 +1,1195 @@
+//! Symmetry quotient over the packed mixed-radix state word.
+//!
+//! A [`SymmetrySpec`] is a finite permutation group acting on a
+//! [`Program`](super::Program)'s packed states: each element permutes the
+//! variables (and optionally relabels values, e.g. the `ord` ground-truth
+//! permutation index of the TME model) and correspondingly permutes the
+//! commands. The *canonical form* of a state is the lexicographically
+//! smallest packed word in its orbit, so interning canonical
+//! representatives only cuts the state space by up to the group order
+//! (`n!` for the n-process TME model).
+//!
+//! The quotient is **verdict-exact** for the streaming stabilization
+//! check ([`Program::fair_self_check_sym`]) — not merely
+//! reachability-preserving — via a holonomy-annotated sweep: every
+//! canonical state carries the group element relating it to a reference
+//! "sheet" (a full-space SCC), non-tree quotient edges contribute
+//! *defect* generators of the sheet's stabilizer, and per-SCC command
+//! presence is closed under conjugation by those defects. DESIGN.md §13
+//! develops the soundness argument; `tests/reduction_differential.rs`
+//! and the TME n=2/n=3 equality tests enforce it bit-for-bit against the
+//! unreduced oracle.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::bitset::StateSet;
+use crate::par::{self, U32Graph};
+use crate::sweep::{chunk_ranges, join_all};
+use crate::SystemError;
+
+use super::{narrow, tarjan_u32, GclError, Layout, Program, State, CHUNK_ALIGN};
+
+/// One group element of a program symmetry, in caller-facing form.
+///
+/// The element `g` maps a state `w` to the state `g·w` defined by
+/// `(g·w)[var_perm[i]] = value_maps[i](w[i])` — variable `i`'s (possibly
+/// relabelled) value moves to position `var_perm[i]`. A `None` value map
+/// is the identity relabelling. `cmd_perm` names the command the element
+/// carries each command to: equivariance means `c` is enabled at `w`
+/// exactly when `cmd_perm[c]` is enabled at `g·w`, with
+/// `g·c(w) = cmd_perm[c](g·w)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetryElement {
+    /// Where each variable's value goes: `i ↦ var_perm[i]`.
+    pub var_perm: Vec<usize>,
+    /// Per-variable value relabelling (`None` = identity). A `Some` map
+    /// must be a permutation of `0..domain(i)`.
+    pub value_maps: Vec<Option<Vec<usize>>>,
+    /// Where each command goes: `c ↦ cmd_perm[c]`.
+    pub cmd_perm: Vec<usize>,
+}
+
+impl SymmetryElement {
+    /// The identity element for `num_vars` variables and `num_commands`
+    /// commands.
+    pub fn identity(num_vars: usize, num_commands: usize) -> Self {
+        SymmetryElement {
+            var_perm: (0..num_vars).collect(),
+            value_maps: vec![None; num_vars],
+            cmd_perm: (0..num_commands).collect(),
+        }
+    }
+}
+
+/// Why a [`SymmetrySpec`] could not be built or validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymmetryError {
+    /// No elements were supplied (a group needs at least the identity).
+    Empty,
+    /// Element 0 is not the identity.
+    FirstNotIdentity,
+    /// An element's tables are malformed (wrong arity, not a
+    /// permutation, or value-map lengths inconsistent across elements).
+    Malformed {
+        /// Index of the offending element.
+        element: usize,
+    },
+    /// Two supplied elements act identically.
+    Duplicate {
+        /// Index of the first copy.
+        first: usize,
+        /// Index of the second copy.
+        second: usize,
+    },
+    /// Composing elements `g ∘ f` left the supplied set: not a group.
+    NotClosed {
+        /// Left factor.
+        g: usize,
+        /// Right factor.
+        f: usize,
+    },
+    /// More elements than annotations can index (the group order must
+    /// fit `u16`).
+    TooLarge,
+    /// The spec does not fit the program: a variable is permuted onto
+    /// one with a different domain, or a value map has the wrong length.
+    DomainMismatch {
+        /// Offending element.
+        element: usize,
+        /// Offending variable.
+        var: usize,
+    },
+    /// Arity mismatch against the program (variable or command counts).
+    WrongProgram,
+    /// A sampled state broke equivariance: `cmd_perm[c]` at `g·w` did
+    /// not mirror `c` at `w`.
+    NotEquivariant {
+        /// Offending element.
+        element: usize,
+        /// Offending command.
+        command: usize,
+    },
+}
+
+impl std::fmt::Display for SymmetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymmetryError::Empty => write!(f, "a symmetry group needs at least the identity"),
+            SymmetryError::FirstNotIdentity => write!(f, "element 0 must be the identity"),
+            SymmetryError::Malformed { element } => {
+                write!(f, "element {element} has malformed permutation tables")
+            }
+            SymmetryError::Duplicate { first, second } => {
+                write!(f, "elements {first} and {second} act identically")
+            }
+            SymmetryError::NotClosed { g, f: rhs } => {
+                write!(f, "composition {g} ∘ {rhs} is not in the supplied set")
+            }
+            SymmetryError::TooLarge => write!(f, "group order must fit u16"),
+            SymmetryError::DomainMismatch { element, var } => {
+                write!(
+                    f,
+                    "element {element} maps variable {var} across unequal domains"
+                )
+            }
+            SymmetryError::WrongProgram => {
+                write!(
+                    f,
+                    "spec arity does not match the program's variables/commands"
+                )
+            }
+            SymmetryError::NotEquivariant { element, command } => write!(
+                f,
+                "element {element} is not a program symmetry: command {command} broke equivariance"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SymmetryError {}
+
+/// Canonical internal form of one element's tables, used as the key for
+/// the composition table (identity value maps normalized to `None`).
+type ElemKey = (Vec<u32>, Vec<Option<Vec<u32>>>, Vec<u32>);
+
+/// A validated finite symmetry group of a [`Program`](super::Program),
+/// with closure, inverse, and command-conjugation tables precomputed so
+/// the quotient sweeps pay only mul-adds per image.
+#[derive(Debug, Clone)]
+pub struct SymmetrySpec {
+    num_vars: usize,
+    num_commands: usize,
+    order: usize,
+    /// `var_perm[g][i]`: target position of variable `i` under `g`.
+    var_perm: Vec<Vec<u32>>,
+    /// `var_perm_inv[g][p]`: which variable lands on position `p`.
+    var_perm_inv: Vec<Vec<u32>>,
+    /// `value_map[g][i]`: relabelling applied to variable `i`'s value.
+    value_map: Vec<Vec<Option<Vec<u32>>>>,
+    /// `cmd_perm[g][c]`: image of command `c` under `g`.
+    cmd_perm: Vec<Vec<u32>>,
+    /// `compose[g * order + f]` = the element acting as `g ∘ f`
+    /// (`(g ∘ f)·w = g·(f·w)`).
+    compose: Vec<u16>,
+    /// `inverse[g]` = the element acting as `g⁻¹`.
+    inverse: Vec<u16>,
+}
+
+/// Narrows a group-element index to the `u16` annotation space. In range
+/// by construction: [`SymmetrySpec::new`] rejects orders beyond `u16`.
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn elem16(g: usize) -> u16 {
+    g as u16
+}
+
+impl SymmetrySpec {
+    /// Builds a spec from explicit elements. Element 0 must be the
+    /// identity; the set must be closed under composition (it is then a
+    /// group, since the actions are injective).
+    ///
+    /// # Errors
+    ///
+    /// See [`SymmetryError`].
+    pub fn new(elements: &[SymmetryElement]) -> Result<Self, SymmetryError> {
+        if elements.is_empty() {
+            return Err(SymmetryError::Empty);
+        }
+        let order = elements.len();
+        if u16::try_from(order).is_err() {
+            return Err(SymmetryError::TooLarge);
+        }
+        let num_vars = elements[0].var_perm.len();
+        let num_commands = elements[0].cmd_perm.len();
+
+        // Normalize and structurally check every element.
+        let mut var_perm: Vec<Vec<u32>> = Vec::with_capacity(order);
+        let mut value_map: Vec<Vec<Option<Vec<u32>>>> = Vec::with_capacity(order);
+        let mut cmd_perm: Vec<Vec<u32>> = Vec::with_capacity(order);
+        // The best-known domain size per variable, from `Some` maps.
+        let mut dom: Vec<Option<usize>> = vec![None; num_vars];
+        for (at, elem) in elements.iter().enumerate() {
+            let malformed = SymmetryError::Malformed { element: at };
+            if elem.var_perm.len() != num_vars
+                || elem.value_maps.len() != num_vars
+                || elem.cmd_perm.len() != num_commands
+                || !is_permutation(&elem.var_perm, num_vars)
+                || !is_permutation(&elem.cmd_perm, num_commands)
+            {
+                return Err(malformed);
+            }
+            let mut maps: Vec<Option<Vec<u32>>> = Vec::with_capacity(num_vars);
+            for (i, map) in elem.value_maps.iter().enumerate() {
+                match map {
+                    None => maps.push(None),
+                    Some(map) => {
+                        if map.is_empty() || !is_permutation(map, map.len()) {
+                            return Err(malformed.clone());
+                        }
+                        match dom[i] {
+                            None => dom[i] = Some(map.len()),
+                            Some(len) if len == map.len() => {}
+                            Some(_) => return Err(malformed.clone()),
+                        }
+                        maps.push(normalize_map(map));
+                    }
+                }
+            }
+            var_perm.push(elem.var_perm.iter().map(|&i| narrow32(i)).collect());
+            value_map.push(maps);
+            cmd_perm.push(elem.cmd_perm.iter().map(|&c| narrow32(c)).collect());
+        }
+        if var_perm[0]
+            .iter()
+            .enumerate()
+            .any(|(i, &p)| p as usize != i)
+            || cmd_perm[0]
+                .iter()
+                .enumerate()
+                .any(|(c, &p)| p as usize != c)
+            || value_map[0].iter().any(Option::is_some)
+        {
+            return Err(SymmetryError::FirstNotIdentity);
+        }
+
+        // Index every element by its normalized action.
+        let mut index: HashMap<ElemKey, usize> = HashMap::with_capacity(order);
+        for g in 0..order {
+            let key = (
+                var_perm[g].clone(),
+                value_map[g].clone(),
+                cmd_perm[g].clone(),
+            );
+            if let Some(&first) = index.get(&key) {
+                return Err(SymmetryError::Duplicate { first, second: g });
+            }
+            index.insert(key, g);
+        }
+
+        // Closure (and thus the composition table): `g ∘ f` must be listed.
+        let mut compose = vec![0u16; order * order];
+        for g in 0..order {
+            for f in 0..order {
+                let mut vp = vec![0u32; num_vars];
+                let mut vm: Vec<Option<Vec<u32>>> = vec![None; num_vars];
+                for i in 0..num_vars {
+                    let mid = var_perm[f][i] as usize;
+                    vp[i] = var_perm[g][mid];
+                    let composed = match (&value_map[g][mid], &value_map[f][i]) {
+                        (None, None) => None,
+                        (Some(outer), None) => Some(outer.clone()),
+                        (None, Some(inner)) => Some(inner.clone()),
+                        (Some(outer), Some(inner)) => {
+                            if outer.len() != inner.len() {
+                                return Err(SymmetryError::Malformed { element: g });
+                            }
+                            Some(inner.iter().map(|&v| outer[v as usize]).collect())
+                        }
+                    };
+                    vm[i] = composed.and_then(normalize_map32);
+                }
+                let cp: Vec<u32> = (0..num_commands)
+                    .map(|c| cmd_perm[g][cmd_perm[f][c] as usize])
+                    .collect();
+                let Some(&at) = index.get(&(vp, vm, cp)) else {
+                    return Err(SymmetryError::NotClosed { g, f });
+                };
+                compose[g * order + f] = elem16(at);
+            }
+        }
+
+        // Inverses exist in any finite set of injective actions closed
+        // under composition; read them off the table.
+        let mut inverse = vec![0u16; order];
+        for g in 0..order {
+            let inv = (0..order)
+                .find(|&h| compose[h * order + g] == 0)
+                .ok_or(SymmetryError::NotClosed { g, f: g })?;
+            inverse[g] = elem16(inv);
+        }
+
+        let var_perm_inv = var_perm
+            .iter()
+            .map(|vp| {
+                let mut inv = vec![0u32; num_vars];
+                for (i, &p) in vp.iter().enumerate() {
+                    inv[p as usize] = narrow32(i);
+                }
+                inv
+            })
+            .collect();
+
+        Ok(SymmetrySpec {
+            num_vars,
+            num_commands,
+            order,
+            var_perm,
+            var_perm_inv,
+            value_map,
+            cmd_perm,
+            compose,
+            inverse,
+        })
+    }
+
+    /// The group order (number of elements, identity included).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of variables the group acts on.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of commands the group acts on.
+    pub fn num_commands(&self) -> usize {
+        self.num_commands
+    }
+
+    /// The image of command `c` under element `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn command_image(&self, g: usize, c: usize) -> usize {
+        self.cmd_perm[g][c] as usize
+    }
+
+    /// `g ∘ f` as an element index (`(g ∘ f)·w = g·(f·w)`).
+    pub(super) fn comp(&self, g: u16, f: u16) -> u16 {
+        self.compose[g as usize * self.order + f as usize]
+    }
+
+    /// `g⁻¹` as an element index.
+    pub(super) fn inv(&self, g: u16) -> u16 {
+        self.inverse[g as usize]
+    }
+
+    /// The packed word of `g·w`, from `w`'s decoded values.
+    pub(super) fn image(&self, layout: &Layout, values: &[u64], g: usize) -> u64 {
+        let vp = &self.var_perm[g];
+        let vm = &self.value_map[g];
+        let mut word = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            let mapped = match &vm[i] {
+                Some(map) => u64::from(map[narrow(v)]),
+                None => v,
+            };
+            word += layout.strides[vp[i] as usize] * mapped;
+        }
+        word
+    }
+
+    /// Compares `g·w` against `w` digit-by-digit from the most
+    /// significant position down, bailing at the first difference —
+    /// the hot path of canonical enumeration.
+    fn image_less_than_self(&self, values: &[u64], g: usize) -> bool {
+        let inv = &self.var_perm_inv[g];
+        let vm = &self.value_map[g];
+        for p in (0..self.num_vars).rev() {
+            let src = inv[p] as usize;
+            let v = values[src];
+            let mapped = match &vm[src] {
+                Some(map) => u64::from(map[narrow(v)]),
+                None => v,
+            };
+            if mapped != values[p] {
+                return mapped < values[p];
+            }
+        }
+        false
+    }
+
+    /// Is `w` the lexicographic minimum of its orbit? (Ties never arise:
+    /// equality with the self-image does not disqualify.)
+    pub(super) fn is_canonical(&self, values: &[u64]) -> bool {
+        (1..self.order).all(|g| !self.image_less_than_self(values, g))
+    }
+
+    /// The canonical representative of `w`'s orbit and the smallest
+    /// element index achieving it (the *canonizer* `σ`, with
+    /// `σ·w = canon(w)`; identity when `w` is already canonical).
+    pub(super) fn canon(&self, layout: &Layout, values: &[u64], word: u64) -> (u64, u16) {
+        let mut best = word;
+        let mut who = 0u16;
+        for g in 1..self.order {
+            let img = self.image(layout, values, g);
+            if img < best {
+                best = img;
+                who = elem16(g);
+            }
+        }
+        (best, who)
+    }
+
+    /// Size of `w`'s stabilizer subgroup; the orbit size is
+    /// `order / stabilizer` (orbit-stabilizer).
+    pub(super) fn stabilizer_size(&self, layout: &Layout, values: &[u64], word: u64) -> usize {
+        (0..self.order)
+            .filter(|&g| self.image(layout, values, g) == word)
+            .count()
+    }
+
+    /// Checks the spec against a program: domain compatibility plus
+    /// equivariance of every element on a deterministic sample of states
+    /// (the whole space when it is small). The quotient sweeps *assume*
+    /// equivariance; run this once per (program, spec) pair in tests.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymmetryError`].
+    pub fn validate(&self, program: &Program) -> Result<(), SymmetryError> {
+        if self.num_vars != program.vars.len() || self.num_commands != program.commands.len() {
+            return Err(SymmetryError::WrongProgram);
+        }
+        let layout = program.layout().map_err(|_| SymmetryError::WrongProgram)?;
+        for g in 0..self.order {
+            for i in 0..self.num_vars {
+                let target = self.var_perm[g][i] as usize;
+                let compatible = layout.domains[target] == layout.domains[i]
+                    && match &self.value_map[g][i] {
+                        Some(map) => map.len() as u64 == layout.domains[i],
+                        None => true,
+                    };
+                if !compatible {
+                    return Err(SymmetryError::DomainMismatch { element: g, var: i });
+                }
+            }
+        }
+
+        // Sampled equivariance: stride through the space so small
+        // programs are checked exhaustively.
+        const SAMPLES: usize = 2048;
+        let total = narrow(layout.total);
+        let step = (total / SAMPLES).max(1);
+        let mut view = State::new(&layout);
+        let mut image_view = State::new(&layout);
+        let mut probe = State::new(&layout);
+        let mut state = 0usize;
+        while state < total {
+            view.load(state as u64);
+            for g in 1..self.order {
+                let image = self.image(&layout, &view.values, g);
+                image_view.load(image);
+                for (c, command) in program.commands.iter().enumerate() {
+                    let c2 = self.cmd_perm[g][c] as usize;
+                    let here = command.enabled(&view);
+                    let there = program.commands[c2].enabled(&image_view);
+                    if here != there {
+                        return Err(SymmetryError::NotEquivariant {
+                            element: g,
+                            command: c,
+                        });
+                    }
+                    if !here {
+                        continue;
+                    }
+                    view.begin_effect();
+                    command.apply(&mut view);
+                    let target = view.finish_effect();
+                    image_view.begin_effect();
+                    program.commands[c2].apply(&mut image_view);
+                    let image_target = image_view.finish_effect();
+                    let agree = match (target, image_target) {
+                        (Ok(t), Ok(t2)) => {
+                            probe.load(t);
+                            self.image(&layout, &probe.values, g) == t2
+                        }
+                        (Err(()), Err(())) => true,
+                        _ => false,
+                    };
+                    if !agree {
+                        return Err(SymmetryError::NotEquivariant {
+                            element: g,
+                            command: c,
+                        });
+                    }
+                }
+            }
+            state += step;
+        }
+        Ok(())
+    }
+}
+
+/// Is `map` a permutation of `0..len`?
+fn is_permutation(map: &[usize], len: usize) -> bool {
+    let mut seen = vec![false; len];
+    map.len() == len
+        && map
+            .iter()
+            .all(|&v| v < len && !std::mem::replace(&mut seen[v], true))
+}
+
+/// Normalizes an already-narrowed map: the identity becomes `None`.
+fn normalize_map32(map: Vec<u32>) -> Option<Vec<u32>> {
+    if map.iter().enumerate().all(|(i, &v)| v as usize == i) {
+        None
+    } else {
+        Some(map)
+    }
+}
+
+/// Converts a caller map to `u32`, normalizing the identity to `None`.
+fn normalize_map(map: &[usize]) -> Option<Vec<u32>> {
+    if map.iter().enumerate().all(|(i, &v)| i == v) {
+        None
+    } else {
+        Some(map.iter().map(|&v| narrow32(v)).collect())
+    }
+}
+
+/// Narrows table entries to `u32`. In range by construction: variable,
+/// command, and domain counts are all bounded by the packed-word layout,
+/// which `validate` checks against the program.
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn narrow32(v: usize) -> u32 {
+    v as u32
+}
+
+/// The verdict of [`Program::fair_self_check_sym`]: the full-space
+/// streaming stabilization answer, computed on the symmetry quotient.
+#[derive(Debug, Clone)]
+pub struct SymSelfReport {
+    /// Size of the full domain product the quotient stands for.
+    pub num_states: usize,
+    /// Canonical representatives, ascending — the interned state space.
+    pub words: Vec<u64>,
+    /// Legitimate (init-reachable) **canonical** states, by index into
+    /// [`words`](Self::words).
+    pub legitimate: StateSet,
+    /// Number of legitimate *full-space* states (orbit sizes summed) —
+    /// comparable to [`FairSelfReport::num_legitimate`](super::FairSelfReport::num_legitimate).
+    pub num_legitimate_full: usize,
+    /// A divergent edge as **packed full-space words** `(from, to)`, or
+    /// `None` when the fair composition stabilizes. The verdict (not the
+    /// witness pair) matches the unreduced check.
+    pub divergent_witness: Option<(u64, u64)>,
+}
+
+impl SymSelfReport {
+    /// True when the fair composition is stabilizing.
+    pub fn holds(&self) -> bool {
+        self.divergent_witness.is_none()
+    }
+
+    /// Number of interned canonical states.
+    pub fn num_canonical(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of legitimate canonical states.
+    pub fn num_legitimate(&self) -> usize {
+        self.legitimate.len()
+    }
+
+    /// Full states per interned state — the space cut the quotient bought.
+    pub fn reduction(&self) -> f64 {
+        if self.words.is_empty() {
+            1.0
+        } else {
+            approx(self.num_states) / approx(self.words.len())
+        }
+    }
+
+    /// The dense index of a canonical word, if interned.
+    pub fn canonical_id(&self, word: u64) -> Option<usize> {
+        self.words.binary_search(&word).ok()
+    }
+}
+
+/// Lossy by design (bench/report ratios only).
+#[allow(clippy::cast_precision_loss)]
+fn approx(n: usize) -> f64 {
+    n as f64
+}
+
+/// Panic message when a canonical successor misses the canonical list —
+/// only possible when the spec is not actually a symmetry of the program.
+const NOT_A_SYMMETRY: &str = "canonical successor not in the canonical enumeration — \
+     the SymmetrySpec is not a symmetry of this program (run SymmetrySpec::validate)";
+
+impl Program {
+    /// The canonical representative of `state`'s orbit under `sym`, as a
+    /// packed state index.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`] (layout errors only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is outside the domain product or `sym` has the
+    /// wrong arity.
+    pub fn canonicalize(&self, sym: &SymmetrySpec, state: usize) -> Result<usize, GclError> {
+        let layout = self.layout()?;
+        assert_eq!(
+            sym.num_vars(),
+            self.vars.len(),
+            "spec/program arity mismatch"
+        );
+        assert!(
+            (state as u64) < layout.total,
+            "state outside the domain product"
+        );
+        let mut view = State::new(&layout);
+        view.load(state as u64);
+        let (word, _) = sym.canon(&layout, &view.values, view.word);
+        Ok(narrow(word))
+    }
+
+    /// [`fair_self_check`](Program::fair_self_check) on the symmetry
+    /// quotient: the identical stabilization verdict, interning only the
+    /// canonical representative of each orbit (`total / order` states
+    /// when no state has a non-trivial stabilizer).
+    ///
+    /// **Soundness contract** (checked by the differential suites, not
+    /// at runtime): `sym` must be a symmetry of this program
+    /// ([`SymmetrySpec::validate`]) and `init` must be orbit-closed
+    /// (`init(w) ⟺ init(g·w)`). Under that contract
+    /// [`SymSelfReport::holds`] and
+    /// [`SymSelfReport::num_legitimate_full`] equal the unreduced
+    /// report's answers — see DESIGN.md §13 for the holonomy argument.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn fair_self_check_sym(
+        &self,
+        sym: &SymmetrySpec,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<SymSelfReport, GclError> {
+        let layout = self.layout()?;
+        let workers = super::default_workers(narrow(layout.total));
+        self.fair_self_check_sym_with(&layout, sym, workers, &init)
+    }
+
+    /// [`fair_self_check_sym`](Program::fair_self_check_sym) with an
+    /// explicit worker count (`workers <= 1` runs fully serial). The
+    /// report is identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`GclError`].
+    pub fn fair_self_check_sym_on(
+        &self,
+        workers: usize,
+        sym: &SymmetrySpec,
+        init: impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync,
+    ) -> Result<SymSelfReport, GclError> {
+        let layout = self.layout()?;
+        self.fair_self_check_sym_with(&layout, sym, workers, &init)
+    }
+
+    // `as u32`/`as u16` below are in range by the post-enumeration guard
+    // (canonical count and edge bound checked against `u32::MAX`) and
+    // the group-order bound (`u16`, checked at spec construction).
+    #[allow(clippy::cast_possible_truncation)]
+    fn fair_self_check_sym_with(
+        &self,
+        layout: &Layout,
+        sym: &SymmetrySpec,
+        workers: usize,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<SymSelfReport, GclError> {
+        let total = narrow(layout.total);
+        let ncmd = self.commands.len();
+        if ncmd == 0 {
+            return Err(GclError::System(SystemError::EmptyStateSpace));
+        }
+        assert_eq!(
+            sym.num_vars(),
+            self.vars.len(),
+            "spec/program arity mismatch"
+        );
+        assert_eq!(sym.num_commands(), ncmd, "spec/program arity mismatch");
+        let workers = workers.max(1);
+
+        // Phase A — canonical enumeration: sharded ascending odometer
+        // sweeps keep exactly the orbit minima; concatenating the chunks
+        // in order yields the globally ascending canonical list.
+        let chunks = chunk_ranges(total, workers, CHUNK_ALIGN);
+        let enum_tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                move || {
+                    let mut found: Vec<u64> = Vec::new();
+                    let mut view = State::new(layout);
+                    view.load(range.start as u64);
+                    for _ in range {
+                        if sym.is_canonical(&view.values) {
+                            found.push(view.word);
+                        }
+                        view.advance();
+                    }
+                    found
+                }
+            })
+            .collect();
+        let mut words: Vec<u64> = Vec::new();
+        for part in join_all(enum_tasks) {
+            words.extend(part);
+        }
+        let num_canon = words.len();
+        // The quotient CSR is staged in 32-bit arrays, like the
+        // unreduced check's guard but against the canonical count.
+        let max_edges = (num_canon as u64).saturating_mul(ncmd as u64 + 1);
+        if u32::try_from(num_canon).is_err() || max_edges > u64::from(u32::MAX) {
+            return Err(GclError::TooManyStates {
+                actual: num_canon,
+                max: narrow(u64::from(u32::MAX) / (ncmd as u64 + 1)),
+            });
+        }
+
+        // Phase B — quotient union rows: per canonical state, every
+        // enabled command's target canonicalized and resolved by binary
+        // search, plus the skip self-loop when any command is disabled.
+        let words_ref: &[u64] = &words;
+        let canon_chunks = chunk_ranges(num_canon, workers, 1);
+        let union_tasks: Vec<_> = canon_chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                move || self.sym_union_chunk(layout, sym, words_ref, range, init)
+            })
+            .collect();
+        let union_parts: Vec<SymUnionChunk> = join_all(union_tasks)
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        let (off, to, init_seeds) = if union_parts.len() == 1 {
+            let part = union_parts.into_iter().next().expect("one part");
+            (part.off, part.to, part.init_seeds)
+        } else {
+            let num_edges: usize = union_parts.iter().map(|p| p.to.len()).sum();
+            let mut off = vec![0u32; num_canon + 1];
+            let mut to: Vec<u32> = Vec::with_capacity(num_edges);
+            let mut init_seeds: Vec<usize> = Vec::new();
+            for (range, part) in canon_chunks.iter().zip(union_parts) {
+                let base = to.len() as u32;
+                for (local, state) in range.clone().enumerate() {
+                    off[state + 1] = base + part.off[local + 1];
+                }
+                to.extend(part.to);
+                init_seeds.extend(part.init_seeds);
+            }
+            (off, to, init_seeds)
+        };
+        if init_seeds.is_empty() {
+            return Err(GclError::NoInitialState);
+        }
+
+        // Phase C — legitimate canonical states: closure of the seeds
+        // over the quotient union rows (exactly the canonical image of
+        // the full-space closure when `init` is orbit-closed).
+        let legitimate = if workers > 1 {
+            par::reach(
+                &U32Graph::forward(&off, &to),
+                workers,
+                init_seeds.iter().copied(),
+                None,
+                false,
+            )
+        } else {
+            let mut legitimate = StateSet::with_capacity(num_canon);
+            let mut frontier: Vec<usize> = Vec::new();
+            for &seed in &init_seeds {
+                if legitimate.insert(seed) {
+                    frontier.push(seed);
+                }
+            }
+            while let Some(state) = frontier.pop() {
+                for &next in &to[off[state] as usize..off[state + 1] as usize] {
+                    if legitimate.insert(next as usize) {
+                        frontier.push(next as usize);
+                    }
+                }
+            }
+            legitimate
+        };
+
+        // Orbit-size sum: how many full states the legitimate canonical
+        // set stands for (orbit-stabilizer per member).
+        let legit_ids: Vec<usize> = legitimate.iter().collect();
+        let sum_tasks: Vec<_> = chunk_ranges(legit_ids.len(), workers, 1)
+            .into_iter()
+            .map(|range| {
+                let ids = &legit_ids[range];
+                let legit_words = words_ref;
+                move || {
+                    let mut view = State::new(layout);
+                    let mut sum = 0usize;
+                    for &id in ids {
+                        view.load(legit_words[id]);
+                        sum += sym.order() / sym.stabilizer_size(layout, &view.values, view.word);
+                    }
+                    sum
+                }
+            })
+            .collect();
+        let num_legitimate_full: usize = join_all(sum_tasks).into_iter().sum();
+
+        // Phase D — SCCs of the quotient union graph.
+        let (scc_id, scc_count) = if workers > 1 {
+            let (roff, rto) = par::reverse_u32(num_canon, &off, &to);
+            par::fb_trim(&U32Graph::with_reverse(&off, &to, &roff, &rto), workers)
+        } else {
+            tarjan_u32(num_canon, &off, &to)
+        };
+
+        // Phase E — holonomy-exact command presence per quotient SCC.
+        // Serial (one recompute sweep, worker-independent): each SCC is
+        // walked once from its first member in canonical order; every
+        // member carries the annotation `a` relating it to the root's
+        // sheet, facts are conjugated into that sheet's frame, and
+        // non-tree internal edges contribute stabilizer generators the
+        // fact set is closed under. See DESIGN.md §13.
+        let cmd_words = ncmd.div_ceil(64);
+        let mut present = vec![0u32; scc_count];
+        {
+            const UNSET: u16 = u16::MAX;
+            let mut annot: Vec<u16> = vec![UNSET; num_canon];
+            let mut queue: Vec<u32> = Vec::new();
+            let mut facts: Vec<u64> = vec![0u64; cmd_words];
+            let mut gen_seen = vec![false; sym.order()];
+            let mut gens: Vec<u16> = Vec::new();
+            let mut view = State::new(layout);
+            let mut probe = State::new(layout);
+            for root in 0..num_canon {
+                if annot[root] != UNSET {
+                    continue;
+                }
+                let scc = scc_id[root];
+                facts.iter_mut().for_each(|w| *w = 0);
+                for flag in gens.drain(..) {
+                    gen_seen[flag as usize] = false;
+                }
+                annot[root] = 0;
+                queue.clear();
+                queue.push(root as u32);
+                let mut head = 0usize;
+                while head < queue.len() {
+                    let s = queue[head] as usize;
+                    head += 1;
+                    let a_s = annot[s];
+                    let frame = sym.inv(a_s);
+                    view.load(words[s]);
+                    for (c, command) in self.commands.iter().enumerate() {
+                        if !command.enabled(&view) {
+                            // Disabled ⇒ the conjugate command skips in
+                            // the sheet: it acts inside.
+                            let fact = sym.cmd_perm[frame as usize][c] as usize;
+                            facts[fact / 64] |= 1u64 << (fact % 64);
+                            continue;
+                        }
+                        view.begin_effect();
+                        command.apply(&mut view);
+                        let target = view.finish_effect().map_err(|()| self.out_of_domain(c))?;
+                        probe.load(target);
+                        let (canon, sigma) = sym.canon(layout, &probe.values, target);
+                        let t = words.binary_search(&canon).expect(NOT_A_SYMMETRY);
+                        if scc_id[t] != scc {
+                            continue;
+                        }
+                        let fact = sym.cmd_perm[frame as usize][c] as usize;
+                        facts[fact / 64] |= 1u64 << (fact % 64);
+                        let carried = sym.comp(sigma, a_s);
+                        if annot[t] == UNSET {
+                            annot[t] = carried;
+                            queue.push(t as u32);
+                        } else {
+                            let defect = sym.comp(sym.inv(annot[t]), carried);
+                            if defect != 0 && !gen_seen[defect as usize] {
+                                gen_seen[defect as usize] = true;
+                                gens.push(defect);
+                            }
+                        }
+                    }
+                }
+                // Close the fact set under conjugation by the defect
+                // generators (closure under each generator covers its
+                // whole cyclic subgroup; iterating to fixpoint covers
+                // the generated holonomy group).
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for &h in &gens {
+                        for c in 0..ncmd {
+                            if facts[c / 64] & (1u64 << (c % 64)) == 0 {
+                                continue;
+                            }
+                            let c2 = sym.cmd_perm[h as usize][c] as usize;
+                            if facts[c2 / 64] & (1u64 << (c2 % 64)) == 0 {
+                                facts[c2 / 64] |= 1u64 << (c2 % 64);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                present[scc as usize] = facts.iter().map(|w| w.count_ones()).sum::<u32>();
+            }
+        }
+
+        // Phase F — divergent scan over the stored quotient CSR: first
+        // hit in canonical state order, reported as full packed words.
+        let ncmd32 = ncmd as u32;
+        let scan_tasks: Vec<_> = canon_chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                let (off, to, scc_id, present, legitimate, words) =
+                    (&off, &to, &scc_id, &present, &legitimate, &words);
+                move || -> Option<(u64, u64)> {
+                    for state in range {
+                        let id = scc_id[state];
+                        if present[id as usize] != ncmd32 {
+                            continue;
+                        }
+                        for &next in &to[off[state] as usize..off[state + 1] as usize] {
+                            if scc_id[next as usize] == id
+                                && !(legitimate.contains(state)
+                                    && legitimate.contains(next as usize))
+                            {
+                                return Some((words[state], words[next as usize]));
+                            }
+                        }
+                    }
+                    None
+                }
+            })
+            .collect();
+        let divergent_witness = join_all(scan_tasks).into_iter().flatten().next();
+
+        Ok(SymSelfReport {
+            num_states: total,
+            words,
+            legitimate,
+            num_legitimate_full,
+            divergent_witness,
+        })
+    }
+
+    /// Phase-B worker: quotient union rows for one slice of the
+    /// canonical list, with chunk-relative 32-bit offsets.
+    // Offsets and canonical ids fit `u32` by the caller's guard.
+    #[allow(clippy::cast_possible_truncation)]
+    fn sym_union_chunk(
+        &self,
+        layout: &Layout,
+        sym: &SymmetrySpec,
+        words: &[u64],
+        range: Range<usize>,
+        init: &(impl for<'a, 'b> Fn(&'a State<'b>) -> bool + Sync),
+    ) -> Result<SymUnionChunk, GclError> {
+        let len = range.len();
+        let ncmd = self.commands.len();
+        let mut off = vec![0u32; len + 1];
+        let mut to: Vec<u32> = Vec::with_capacity(len.saturating_mul(2));
+        let mut init_seeds: Vec<usize> = Vec::new();
+        let mut row: Vec<u32> = Vec::with_capacity(ncmd + 1);
+        let mut view = State::new(layout);
+        let mut probe = State::new(layout);
+        for (local, state) in range.enumerate() {
+            view.load(words[state]);
+            if init(&view) {
+                init_seeds.push(state);
+            }
+            row.clear();
+            let mut any_disabled = false;
+            for (index, command) in self.commands.iter().enumerate() {
+                if command.enabled(&view) {
+                    view.begin_effect();
+                    command.apply(&mut view);
+                    let target = view
+                        .finish_effect()
+                        .map_err(|()| self.out_of_domain(index))?;
+                    probe.load(target);
+                    let (canon, _) = sym.canon(layout, &probe.values, target);
+                    let id = words.binary_search(&canon).expect(NOT_A_SYMMETRY);
+                    row.push(id as u32);
+                } else {
+                    any_disabled = true;
+                }
+            }
+            if any_disabled {
+                row.push(state as u32);
+            }
+            row.sort_unstable();
+            row.dedup();
+            to.extend_from_slice(&row);
+            off[local + 1] = to.len() as u32;
+        }
+        Ok(SymUnionChunk {
+            off,
+            to,
+            init_seeds,
+        })
+    }
+}
+
+/// One chunk of the sharded quotient union sweep.
+struct SymUnionChunk {
+    off: Vec<u32>,
+    to: Vec<u32>,
+    init_seeds: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two symmetric mod-`d` counters with a coupling command; the swap
+    /// of the two variables (and the two per-variable commands) is a
+    /// symmetry.
+    fn two_counters(d: usize) -> (Program, SymmetrySpec) {
+        let mut p = Program::new();
+        let x = p.var("x", d);
+        let y = p.var("y", d);
+        p.command(
+            "bump_x",
+            move |s: &State<'_>| s.get(x) < s.get(y),
+            move |s: &mut State<'_>| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        p.command(
+            "bump_y",
+            move |s: &State<'_>| s.get(y) < s.get(x),
+            move |s: &mut State<'_>| {
+                let v = s.get(y);
+                s.set(y, v + 1);
+            },
+        );
+        let swap = SymmetryElement {
+            var_perm: vec![1, 0],
+            value_maps: vec![None, None],
+            cmd_perm: vec![1, 0],
+        };
+        let spec = SymmetrySpec::new(&[SymmetryElement::identity(2, 2), swap]).unwrap();
+        (p, spec)
+    }
+
+    #[test]
+    fn spec_tables_are_a_group() {
+        let (_, spec) = two_counters(3);
+        assert_eq!(spec.order(), 2);
+        assert_eq!(spec.comp(1, 1), 0);
+        assert_eq!(spec.inv(1), 1);
+        assert_eq!(spec.command_image(1, 0), 1);
+    }
+
+    #[test]
+    fn rejects_non_identity_first_and_non_groups() {
+        let swap = SymmetryElement {
+            var_perm: vec![1, 0],
+            value_maps: vec![None, None],
+            cmd_perm: vec![1, 0],
+        };
+        assert_eq!(
+            SymmetrySpec::new(std::slice::from_ref(&swap)).err(),
+            Some(SymmetryError::FirstNotIdentity)
+        );
+        // A 3-cycle without its square is not closed.
+        let cycle = SymmetryElement {
+            var_perm: vec![1, 2, 0],
+            value_maps: vec![None, None, None],
+            cmd_perm: vec![1, 2, 0],
+        };
+        assert_eq!(
+            SymmetrySpec::new(&[SymmetryElement::identity(3, 3), cycle]).err(),
+            Some(SymmetryError::NotClosed { g: 1, f: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_the_swap_and_rejects_an_asymmetric_twin() {
+        let (p, spec) = two_counters(3);
+        spec.validate(&p).unwrap();
+
+        // Same spec against a program whose second command differs.
+        let mut q = Program::new();
+        let x = q.var("x", 3);
+        let y = q.var("y", 3);
+        q.command(
+            "bump_x",
+            move |s: &State<'_>| s.get(x) < s.get(y),
+            move |s: &mut State<'_>| {
+                let v = s.get(x);
+                s.set(x, v + 1);
+            },
+        );
+        q.command(
+            "reset_y",
+            move |s: &State<'_>| s.get(y) < s.get(x),
+            move |s: &mut State<'_>| s.set(y, 0),
+        );
+        assert!(matches!(
+            spec.validate(&q),
+            Err(SymmetryError::NotEquivariant { .. })
+        ));
+    }
+
+    #[test]
+    fn canonical_enumeration_counts_orbits() {
+        let (p, spec) = two_counters(4);
+        let layout = p.layout().unwrap();
+        let mut view = State::new(&layout);
+        let mut canonical = 0usize;
+        let mut orbit_sum = 0usize;
+        view.load(0);
+        for _ in 0..16 {
+            if spec.is_canonical(&view.values) {
+                canonical += 1;
+                orbit_sum += spec.order() / spec.stabilizer_size(&layout, &view.values, view.word);
+            }
+            view.advance();
+        }
+        // Orbits of the swap on a 4x4 grid: 4 fixed + 6 pairs.
+        assert_eq!(canonical, 10);
+        assert_eq!(orbit_sum, 16);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_orbit_constant() {
+        let (p, spec) = two_counters(4);
+        for state in 0..16usize {
+            let c = p.canonicalize(&spec, state).unwrap();
+            assert!(c <= state);
+            assert_eq!(p.canonicalize(&spec, c).unwrap(), c);
+            // swap(x, y) shares the canonical form.
+            let (x, y) = (state % 4, state / 4);
+            assert_eq!(p.canonicalize(&spec, y + 4 * x).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn sym_check_matches_the_full_check() {
+        let (p, spec) = two_counters(4);
+        let x = super::super::VarRef::new(0);
+        let y = super::super::VarRef::new(1);
+        let full = p
+            .fair_self_check(move |s: &State<'_>| s.get(x) == 0 && s.get(y) == 0)
+            .unwrap();
+        let reduced = p
+            .fair_self_check_sym(&spec, move |s: &State<'_>| s.get(x) == 0 && s.get(y) == 0)
+            .unwrap();
+        assert_eq!(reduced.holds(), full.holds());
+        assert_eq!(reduced.num_legitimate_full, full.num_legitimate());
+        assert_eq!(reduced.num_states, full.num_states);
+        assert_eq!(reduced.num_canonical(), 10);
+        for workers in [2, 4] {
+            let par = p
+                .fair_self_check_sym_on(workers, &spec, move |s: &State<'_>| {
+                    s.get(x) == 0 && s.get(y) == 0
+                })
+                .unwrap();
+            assert_eq!(par.words, reduced.words);
+            assert_eq!(par.divergent_witness, reduced.divergent_witness);
+            assert_eq!(par.num_legitimate_full, reduced.num_legitimate_full);
+        }
+    }
+}
