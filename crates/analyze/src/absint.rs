@@ -554,6 +554,37 @@ fn exec_block(stmts: &[Stmt], env: &mut Vec<Interval>, ctx: &mut Ctx<'_>, certai
     must_stutter
 }
 
+/// Crate-internal hook for the WP layer's interval fast path:
+/// three-valued truth of `cond` over an interval environment.
+/// `Some(true)`/`Some(false)` are must-facts; `None` is "undecided".
+pub(crate) fn cond_three_valued(cond: &Cond, env: &[Interval], domains: &[usize]) -> Option<bool> {
+    let mut ctx = Ctx {
+        domains,
+        diag: CommandDiagnosis::default(),
+    };
+    match eval_cond(cond, env, &mut ctx, false) {
+        AbsBool::True => Some(true),
+        AbsBool::False => Some(false),
+        AbsBool::Unknown => None,
+    }
+}
+
+/// Crate-internal hook for the WP layer: refines `env` to satisfy
+/// `cond` (or its negation). Returns `false` when the constraint is
+/// provably unsatisfiable over the intervals.
+pub(crate) fn refine_by_cond(
+    cond: &Cond,
+    positive: bool,
+    env: &mut Vec<Interval>,
+    domains: &[usize],
+) -> bool {
+    let mut ctx = Ctx {
+        domains,
+        diag: CommandDiagnosis::default(),
+    };
+    refine(cond, positive, env, &mut ctx, false)
+}
+
 /// Runs the abstract interpreter on one command, over the full domain
 /// product (`domains[i]` is variable `i`'s domain size).
 pub fn diagnose_command(command: &IrCommand, domains: &[usize]) -> CommandDiagnosis {

@@ -4,13 +4,20 @@
 //! ```text
 //! graybox-lint tme [--n N] [--no-wrapper] [--json PATH|-]
 //! graybox-lint csr FILE [--json PATH|-]
+//! graybox-lint certify [--mutant dropped-guard|bad-rank] [--json PATH|-]
 //! ```
 //!
 //! `tme` runs the five static passes (footprint, locality,
 //! wrapper-footprint, interference, abstract interpretation) on the
 //! n-process TME abstraction, entirely without enumerating states.
 //! `csr` parses a textual CSR transition system and validates it through
-//! the checked `FiniteSystem::try_from_csr` constructor.
+//! the checked `FiniteSystem::try_from_csr` constructor. `certify`
+//! checks the level-2 TME convergence-stair certificate — weakest
+//! preconditions, closed levels, lexicographic ranks, and the
+//! parametric side conditions that make it valid for all n ≥ 2 — again
+//! without enumerating a single state; `--mutant` certifies a seeded
+//! broken artifact instead (the validation suite expects exit 1 naming
+//! the failing obligation).
 //!
 //! Exit status: 0 when no error-severity findings, 1 when there are
 //! errors, 2 on usage or I/O problems.
@@ -29,14 +36,16 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use graybox_analyze::report::{Finding, Report, Severity};
+use graybox_analyze::report::{render_and_exit, Finding, Report, Severity};
 use graybox_analyze::tme::lint_tme;
+use graybox_analyze::tme::stair_cert::{certify_tme, CertifyTarget};
 use graybox_core::{FiniteSystem, StateSet};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: graybox-lint tme [--n N] [--no-wrapper] [--independence] [--json PATH|-]\n\
-         \x20      graybox-lint csr FILE [--json PATH|-]"
+         \x20      graybox-lint csr FILE [--json PATH|-]\n\
+         \x20      graybox-lint certify [--mutant dropped-guard|bad-rank] [--json PATH|-]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +58,7 @@ fn main() -> ExitCode {
     match mode.as_str() {
         "tme" => run_tme(&args[1..]),
         "csr" => run_csr(&args[1..]),
+        "certify" => run_certify(&args[1..]),
         _ => usage(),
     }
 }
@@ -71,23 +81,27 @@ fn take_json(args: &[String]) -> Result<(Vec<String>, Option<String>), ()> {
     Ok((rest, json))
 }
 
-fn finish(report: &Report, json: Option<&str>) -> ExitCode {
-    match json {
-        Some("-") => print!("{}", report.to_json()),
-        Some(path) => {
-            if let Err(err) = std::fs::write(path, report.to_json()) {
-                eprintln!("graybox-lint: cannot write {path}: {err}");
-                return ExitCode::from(2);
-            }
-            println!("{report}");
+fn run_certify(args: &[String]) -> ExitCode {
+    let Ok((rest, json)) = take_json(args) else {
+        return usage();
+    };
+    let mut target = CertifyTarget::Flagship;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mutant" => match it.next().map(String::as_str) {
+                Some("dropped-guard") => target = CertifyTarget::MutantDroppedGuard,
+                Some("bad-rank") => target = CertifyTarget::MutantBadRank,
+                _ => {
+                    eprintln!("graybox-lint: --mutant takes dropped-guard or bad-rank");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => return usage(),
         }
-        None => println!("{report}"),
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    let report = certify_tme(target);
+    render_and_exit(&report, json.as_deref())
 }
 
 fn run_tme(args: &[String]) -> ExitCode {
@@ -120,7 +134,7 @@ fn run_tme(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let report = lint_tme(n, with_wrapper);
-    finish(&report, json.as_deref())
+    render_and_exit(&report, json.as_deref())
 }
 
 fn run_csr(args: &[String]) -> ExitCode {
@@ -138,7 +152,7 @@ fn run_csr(args: &[String]) -> ExitCode {
         }
     };
     let report = lint_csr_text(path, &text);
-    finish(&report, json.as_deref())
+    render_and_exit(&report, json.as_deref())
 }
 
 /// Parses the textual CSR format and validates it via

@@ -1,29 +1,114 @@
 //! The `--independence` report: the command-commutation relation the
 //! partial-order reduction consumes ([`graybox_core::gcl::por`]),
 //! rendered as text so a reduction run is auditable without executing
-//! the compiler. The relation is purely static — IR footprints only —
-//! and therefore printable for any model the other passes accept.
+//! the compiler — plus the interval-refined sharpening of that
+//! relation.
+//!
+//! The footprint relation alone calls two commands dependent whenever
+//! they touch a common variable. [`refined_independence`] additionally
+//! admits a pair when (a) their guards are *jointly unsatisfiable* —
+//! decided by the interval fast path or bounded support-cone
+//! enumeration, never a state sweep — and (b) neither command can
+//! enable the other (`guard_a ⇒ wp(body_a, ¬guard_b)` and
+//! symmetrically). Such a pair is never co-enabled and stays that way,
+//! so every independence obligation the ample-set provisos impose on it
+//! is vacuous: no state has both commands competing, and no firing of
+//! one creates a state where the other joins in. Everything is decided
+//! over per-obligation support cones; a cone over [`crate::wp::CONE_CAP`]
+//! conservatively leaves the pair dependent.
 
 use std::fmt::Write as _;
 
 use graybox_core::gcl::por::{Independence, PorSpec};
 use graybox_core::gcl::Program;
 
+use crate::wp::{implication, wp_stmts, Decision, Pred};
+
+/// How much the interval refinement added on top of footprint
+/// disjointness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefinementStats {
+    /// Independent pairs by disjoint footprints alone.
+    pub disjoint_pairs: usize,
+    /// Independent pairs after the refinement (always ≥ `disjoint_pairs`).
+    pub refined_pairs: usize,
+}
+
+/// Does `implication` prove the statement (either stage)?
+fn proves(antecedent: &Pred, consequent: &Pred, domains: &[usize]) -> bool {
+    matches!(
+        implication(antecedent, consequent, domains),
+        Ok(Decision::Valid { .. })
+    )
+}
+
+/// The interval-refined independence relation: footprint-disjoint pairs
+/// plus never-co-enabled pairs that cannot enable each other.
+pub fn refined_independence(program: &Program) -> (Independence, RefinementStats) {
+    let base = Independence::from_program(program);
+    let ncmd = program.num_commands();
+    let domains: Vec<usize> = program.variables().map(|(_, d)| d).collect();
+    let mut pairs = Vec::new();
+    let mut disjoint_pairs = 0usize;
+    for a in 0..ncmd {
+        for b in a + 1..ncmd {
+            if base.independent(a, b) {
+                disjoint_pairs += 1;
+                pairs.push((a, b));
+                continue;
+            }
+            let (Some(ca), Some(cb)) = (program.ir_command(a), program.ir_command(b)) else {
+                continue;
+            };
+            let ga = Pred::atom(ca.guard.clone());
+            let gb = Pred::atom(cb.guard.clone());
+            let never_co_enabled =
+                proves(&ga.clone().and(gb.clone()), &Pred::truth(false), &domains);
+            if !never_co_enabled {
+                continue;
+            }
+            // Neither may create a state where the other's guard holds —
+            // otherwise firing one could put the pair in competition
+            // after all.
+            let a_keeps_b_disabled = proves(&ga, &wp_stmts(&ca.body, &gb.clone().not()), &domains);
+            let b_keeps_a_disabled = proves(&gb, &wp_stmts(&cb.body, &ga.clone().not()), &domains);
+            if a_keeps_b_disabled && b_keeps_a_disabled {
+                pairs.push((a, b));
+            }
+        }
+    }
+    let stats = RefinementStats {
+        disjoint_pairs,
+        refined_pairs: pairs.len(),
+    };
+    (Independence::from_pairs(ncmd, &pairs), stats)
+}
+
 /// Renders the command-independence relation of `program` plus the
 /// derived safe-command set (with an empty visible set, i.e. the upper
 /// bound of what any checked property permits — a property over visible
-/// variables can only shrink the set).
+/// variables can only shrink the set). The matrix and the safe set use
+/// the interval-refined relation; the before/after rows keep the
+/// footprint-only count auditable.
 pub fn independence_report(program: &Program) -> String {
-    let indep = Independence::from_program(program);
+    let (indep, stats) = refined_independence(program);
     let ncmd = program.num_commands();
     let mut out = String::new();
     let _ = writeln!(out, "independence relation: {ncmd} commands");
     let _ = writeln!(
         out,
-        "independent pairs: {} / {} (disjoint IR footprints; \
-         closure commands conflict with everything)",
-        indep.num_independent_pairs(),
+        "independent pairs (footprint-disjoint): {} / {} \
+         (closure commands conflict with everything)",
+        stats.disjoint_pairs,
         indep.num_pairs()
+    );
+    let _ = writeln!(
+        out,
+        "independent pairs (interval-refined):   {} / {} \
+         (+{} never-co-enabled, mutually non-enabling)",
+        stats.refined_pairs,
+        indep.num_pairs(),
+        stats.refined_pairs - stats.disjoint_pairs
     );
     let _ = writeln!(out);
 
@@ -76,6 +161,7 @@ pub fn independence_report(program: &Program) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graybox_core::gcl::ir::{Expr, IrCommand, Stmt};
     use graybox_core::tme_abstract::program_nproc_ir;
 
     #[test]
@@ -96,8 +182,22 @@ mod tests {
     }
 
     #[test]
+    fn tme_refinement_strictly_sharpens_the_footprint_relation() {
+        // request_i (guard m_i = THINKING) and enter_i (guard m_i =
+        // HUNGRY ∧ all beliefs set) share m_i and k_ij, so the footprint
+        // relation calls them dependent — yet they are never co-enabled,
+        // and request resets k_ij = 0, so it cannot hand enter its
+        // guard. The refinement must recover pairs of this shape.
+        let (program, _) = program_nproc_ir(3, true);
+        let (_, stats) = refined_independence(&program);
+        assert!(
+            stats.refined_pairs > stats.disjoint_pairs,
+            "refinement added nothing: {stats:?}"
+        );
+    }
+
+    #[test]
     fn independent_commands_show_in_the_matrix() {
-        use graybox_core::gcl::ir::{Expr, IrCommand, Stmt};
         let mut p = Program::new();
         let x = p.var("x", 2);
         let y = p.var("y", 2);
@@ -112,7 +212,60 @@ mod tests {
             vec![Stmt::assign(y, Expr::int(1))],
         ));
         let report = independence_report(&p);
-        assert!(report.contains("independent pairs: 1 / 1"), "{report}");
+        assert!(
+            report.contains("independent pairs (footprint-disjoint): 1 / 1"),
+            "{report}"
+        );
         assert!(report.contains("candidates (visible set empty — upper bound): 2"));
+    }
+
+    /// A TME-like mode machine: two skip-level transitions on the same
+    /// variable whose guards never overlap and whose bodies jump past
+    /// each other's guard, plus a command coupled to one of them.
+    #[test]
+    fn never_co_enabled_non_enabling_pair_unlocks_the_safe_set() {
+        let mut p = Program::new();
+        let x = p.var("x", 3);
+        let y = p.var("y", 2);
+        p.command_ir(IrCommand::new(
+            "jump_from_0",
+            Expr::var(x).eq(Expr::int(0)),
+            vec![Stmt::assign(x, Expr::int(2))],
+        ));
+        p.command_ir(IrCommand::new(
+            "jump_from_1",
+            Expr::var(x).eq(Expr::int(1)),
+            vec![Stmt::assign(x, Expr::int(2))],
+        ));
+        p.command_ir(IrCommand::new(
+            "observe_mid",
+            Expr::var(y)
+                .eq(Expr::int(0))
+                .and(Expr::var(x).eq(Expr::int(1))),
+            vec![Stmt::assign(y, Expr::int(1))],
+        ));
+
+        // Footprints alone: everything conflicts, safe set empty.
+        let base = Independence::from_program(&p);
+        assert_eq!(base.num_independent_pairs(), 0);
+        assert_eq!(PorSpec::new(&p, &base, &[]).num_safe(), 0);
+
+        // Refined: jump_from_0 is never co-enabled with either other
+        // command and cannot enable them (it writes x = 2, past both
+        // guards), so it becomes a safe singleton-ample candidate.
+        // jump_from_1 and observe_mid stay dependent — they really are
+        // co-enabled at x = 1, y = 0.
+        let (refined, stats) = refined_independence(&p);
+        assert_eq!(stats.disjoint_pairs, 0);
+        assert_eq!(stats.refined_pairs, 2, "expected exactly the two x=0 pairs");
+        assert!(refined.independent(0, 1));
+        assert!(refined.independent(0, 2));
+        assert!(!refined.independent(1, 2));
+        let por = PorSpec::new(&p, &refined, &[]);
+        assert!(por.safe(0), "jump_from_0 should be safe");
+        assert_eq!(por.num_safe(), 1);
+
+        let report = independence_report(&p);
+        assert!(report.contains("(interval-refined):   2 / 3"), "{report}");
     }
 }

@@ -29,10 +29,30 @@
 //!    domains: dead commands (unsatisfiable guards), stutter-only
 //!    effects, out-of-domain writes, table overruns, zero moduli.
 //!
-//! [`report`] aggregates findings into a machine-readable [`Report`]
-//! (hand-rolled JSON; the workspace is dependency-free), and [`tme`]
-//! wires the passes to the n-process TME abstraction shipped by
-//! `graybox-core`. The `graybox-lint` binary fronts all of it.
+//! On top of the passes sits the **convergence certifier** — the first
+//! non-enumerative stabilization verdict in the repo:
+//!
+//! * [`wp`] — weakest-precondition/strongest-postcondition transformers
+//!   over the IR, a predicate language with counting terms, and a
+//!   two-stage implication decider (interval fast path, then bounded
+//!   support-cone enumeration).
+//! * [`stair`] — checks a convergence stair `Σ = S₀ ⊇ … ⊇ S_k = legit`
+//!   over the 648-point pair-projection cone: closed levels plus
+//!   ranked regions whose designated commands strictly descend.
+//! * [`param`] — the parametric-n discharge: symmetry transitivity,
+//!   projection reduction at a representative n, order-preservation
+//!   tables, and the counting case — lifting a pair-cone certificate
+//!   to every n ≥ 2.
+//! * [`tme::stair_cert`] — the flagship level-2 TME stair certificate
+//!   and its deliberately broken mutants.
+//!
+//! [`independence`] sharpens the footprint commutation relation the
+//! partial-order reduction consumes with interval-refined
+//! never-co-enabled pairs. [`report`] aggregates findings into a
+//! machine-readable [`Report`] (hand-rolled JSON; the workspace is
+//! dependency-free), and [`tme`] wires the passes to the n-process TME
+//! abstraction shipped by `graybox-core`. The `graybox-lint` binary
+//! fronts all of it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,15 +62,21 @@ pub mod footprint;
 pub mod independence;
 pub mod interference;
 pub mod locality;
+pub mod param;
 pub mod report;
+pub mod stair;
 pub mod tme;
+pub mod wp;
 pub mod wrapper;
 
 pub use absint::{diagnose_command, diagnose_program, CommandDiagnosis, Interval};
 pub use footprint::{command_footprint, program_footprints, Footprint, OpaqueCommand};
-pub use independence::independence_report;
+pub use independence::{independence_report, refined_independence, RefinementStats};
 pub use interference::{check_interference, Conflict, ConflictKind};
 pub use locality::{check_locality, Access, LocalityViolation, Partition, VarClass};
-pub use report::{Finding, Report, Severity};
+pub use report::{render_and_exit, Finding, Report, Severity};
+pub use stair::{check_stair, PairDynamics, StairCertificate, StairStats};
+pub use tme::stair_cert::{certify_tme, tme_stair_certificate, CertifyTarget};
 pub use tme::{lint_tme, run_all_passes, ModelShape};
+pub use wp::{implication, sp_command, sp_stmts, wp_command, wp_stmts, Decision, Pred};
 pub use wrapper::{check_wrapper_footprint, WrapperViolation};

@@ -129,6 +129,36 @@ impl Report {
     }
 }
 
+/// Renders a report and maps it to the process exit status — the single
+/// path every `graybox-lint` subcommand shares, so severity and
+/// exit-code policy cannot drift between them.
+///
+/// `json_dest` of `None` prints the human rendering; `Some("-")` prints
+/// JSON to stdout; any other `Some(path)` writes JSON to `path` and
+/// prints the human rendering.
+///
+/// Exit status: 0 when the report has no error-severity findings, 1
+/// when it does, 2 when the JSON destination cannot be written.
+#[must_use]
+pub fn render_and_exit(report: &Report, json_dest: Option<&str>) -> std::process::ExitCode {
+    match json_dest {
+        Some("-") => print!("{}", report.to_json()),
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, report.to_json()) {
+                eprintln!("graybox-lint: cannot write {path}: {err}");
+                return std::process::ExitCode::from(2);
+            }
+            println!("{report}");
+        }
+        None => println!("{report}"),
+    }
+    if report.is_clean() {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}
+
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "graybox-lint: {}", self.target)?;

@@ -8,6 +8,9 @@
 //! structural metadata of `tme_abstract::nproc_shape` — certifying the
 //! model *without enumerating a single state*.
 
+pub mod stair_cert;
+mod stair_table;
+
 use std::collections::BTreeSet;
 
 use graybox_core::gcl::Program;

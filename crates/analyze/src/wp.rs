@@ -1,0 +1,824 @@
+//! Predicate transformers over the expression IR: weakest preconditions,
+//! strongest postconditions, and a finite-domain validity checker.
+//!
+//! The convergence certifier ([`crate::stair`]) discharges its proof
+//! obligations as implications between [`Pred`]s — a small predicate
+//! language of IR conditions closed under the boolean connectives plus
+//! *counting terms* `#{t ∈ terms : t} op rhs` (the paper's `#{j : h.j}`
+//! shapes). Two transformers connect predicates to commands:
+//!
+//! * [`wp_command`] — substitution-based weakest precondition of a
+//!   command body: `wp(x := e, P) = P[x ↦ e]`, conditionals split into
+//!   the guarded disjunction of their branches, sequences compose right
+//!   to left. `wp` is exact for this IR (every statement is total).
+//! * [`sp_command`] — strongest postcondition; the existential over the
+//!   overwritten value is expanded into a finite disjunction over the
+//!   target's domain, which is exact for mixed-radix finite domains.
+//!
+//! Validity of an obligation `A ⇒ B` is decided in two stages, neither
+//! of which enumerates program states:
+//!
+//! 1. **Interval fast path** — refine the per-variable intervals under
+//!    `A` (unsatisfiable ⇒ vacuously valid), then evaluate `B`
+//!    three-valued over the refined environment; a must-`true` proves
+//!    the implication ([`crate::absint`] supplies both primitives).
+//! 2. **Bounded cone enumeration** — enumerate only the *support cone*,
+//!    the domain product of the variables the obligation actually
+//!    mentions, against the concrete [`eval_values`](Pred::eval_values)
+//!    semantics. The cone is capped ([`CONE_CAP`]); an obligation whose
+//!    support exceeds the cap is reported as undecidable rather than
+//!    silently swept.
+//!
+//! Substitution can grow terms; [`Pred::simplify`] keeps them small by
+//! constant folding and *table composition* — `outer[inner[ord]]`
+//! collapses to a single retabulation, which is what keeps `wp` of the
+//! TME order updates (permutation-table lookups) in closed form.
+
+use graybox_core::gcl::ir::{CmpOp, Cond, Expr, IrCommand, Stmt};
+use graybox_core::gcl::VarRef;
+
+use crate::absint::{cond_three_valued, refine_by_cond, Interval};
+
+/// Upper bound on the number of support-cone points [`implication`]
+/// will enumerate before giving up (2²⁰; the TME certificate's largest
+/// obligation cone is under 6 k points).
+pub const CONE_CAP: u128 = 1 << 20;
+
+/// A predicate over IR variables: boolean combinations of IR conditions
+/// plus counting terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// An embedded IR condition.
+    Atom(Cond),
+    /// Negation.
+    Not(Box<Pred>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Pred>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Pred>),
+    /// A counting term: `#{t ∈ terms : t holds} op rhs`.
+    Count {
+        /// The conditions being counted.
+        terms: Vec<Cond>,
+        /// Comparison applied to the count.
+        op: CmpOp,
+        /// Right-hand side of the comparison.
+        rhs: usize,
+    },
+}
+
+impl Pred {
+    /// The constant predicate.
+    pub fn truth(value: bool) -> Pred {
+        Pred::Atom(Cond::Const(value))
+    }
+
+    /// Wraps an IR condition.
+    pub fn atom(cond: Cond) -> Pred {
+        Pred::Atom(cond)
+    }
+
+    /// `#{t ∈ terms : t} op rhs`.
+    pub fn count(terms: Vec<Cond>, op: CmpOp, rhs: usize) -> Pred {
+        Pred::Count { terms, op, rhs }
+    }
+
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Pred {
+        Pred::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs` (flattening).
+    pub fn and(self, rhs: Pred) -> Pred {
+        match (self, rhs) {
+            (Pred::And(mut a), Pred::And(b)) => {
+                a.extend(b);
+                Pred::And(a)
+            }
+            (Pred::And(mut a), r) => {
+                a.push(r);
+                Pred::And(a)
+            }
+            (l, Pred::And(mut b)) => {
+                b.insert(0, l);
+                Pred::And(b)
+            }
+            (l, r) => Pred::And(vec![l, r]),
+        }
+    }
+
+    /// `self ∨ rhs` (flattening).
+    pub fn or(self, rhs: Pred) -> Pred {
+        match (self, rhs) {
+            (Pred::Or(mut a), Pred::Or(b)) => {
+                a.extend(b);
+                Pred::Or(a)
+            }
+            (Pred::Or(mut a), r) => {
+                a.push(r);
+                Pred::Or(a)
+            }
+            (l, Pred::Or(mut b)) => {
+                b.insert(0, l);
+                Pred::Or(b)
+            }
+            (l, r) => Pred::Or(vec![l, r]),
+        }
+    }
+
+    /// Concrete truth over a plain valuation indexed by variable index.
+    pub fn eval_values(&self, values: &[usize]) -> bool {
+        match self {
+            Pred::Atom(c) => c.eval_values(values),
+            Pred::Not(p) => !p.eval_values(values),
+            Pred::And(ps) => ps.iter().all(|p| p.eval_values(values)),
+            Pred::Or(ps) => ps.iter().any(|p| p.eval_values(values)),
+            Pred::Count { terms, op, rhs } => {
+                let count = terms.iter().filter(|t| t.eval_values(values)).count();
+                op.holds(count, *rhs)
+            }
+        }
+    }
+
+    /// Calls `visit` for every variable the predicate reads.
+    pub fn visit_reads(&self, visit: &mut impl FnMut(VarRef)) {
+        match self {
+            Pred::Atom(c) => c.visit_reads(visit),
+            Pred::Not(p) => p.visit_reads(visit),
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.visit_reads(visit);
+                }
+            }
+            Pred::Count { terms, .. } => {
+                for t in terms {
+                    t.visit_reads(visit);
+                }
+            }
+        }
+    }
+
+    /// Capture-free substitution `self[var ↦ replacement]` (the IR has
+    /// no binders, so substitution is plain structural replacement).
+    pub fn subst(&self, var: VarRef, replacement: &Expr) -> Pred {
+        match self {
+            Pred::Atom(c) => Pred::Atom(subst_cond(c, var, replacement)),
+            Pred::Not(p) => Pred::Not(Box::new(p.subst(var, replacement))),
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.subst(var, replacement)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.subst(var, replacement)).collect()),
+            Pred::Count { terms, op, rhs } => Pred::Count {
+                terms: terms
+                    .iter()
+                    .map(|t| subst_cond(t, var, replacement))
+                    .collect(),
+                op: *op,
+                rhs: *rhs,
+            },
+        }
+    }
+
+    /// The predicate as a plain IR condition, when it contains no
+    /// counting term (used by the interval fast path, whose refinement
+    /// engine speaks [`Cond`]).
+    pub fn as_cond(&self) -> Option<Cond> {
+        match self {
+            Pred::Atom(c) => Some(c.clone()),
+            Pred::Not(p) => p.as_cond().map(Cond::not),
+            Pred::And(ps) => ps
+                .iter()
+                .map(Pred::as_cond)
+                .collect::<Option<Vec<_>>>()
+                .map(Cond::And),
+            Pred::Or(ps) => ps
+                .iter()
+                .map(Pred::as_cond)
+                .collect::<Option<Vec<_>>>()
+                .map(Cond::Or),
+            Pred::Count { .. } => None,
+        }
+    }
+
+    /// Constant folding, unit/zero laws, and table composition, applied
+    /// bottom-up. Keeps `wp` chains from growing without bound.
+    pub fn simplify(&self) -> Pred {
+        match self {
+            Pred::Atom(c) => Pred::Atom(simplify_cond(c)),
+            Pred::Not(p) => match p.simplify() {
+                Pred::Atom(Cond::Const(b)) => Pred::truth(!b),
+                q => Pred::Not(Box::new(q)),
+            },
+            Pred::And(ps) => {
+                let mut out = Vec::new();
+                for p in ps {
+                    match p.simplify() {
+                        Pred::Atom(Cond::Const(true)) => {}
+                        Pred::Atom(Cond::Const(false)) => return Pred::truth(false),
+                        Pred::And(qs) => out.extend(qs),
+                        q => out.push(q),
+                    }
+                }
+                match out.len() {
+                    0 => Pred::truth(true),
+                    1 => out.pop().expect("len checked"),
+                    _ => Pred::And(out),
+                }
+            }
+            Pred::Or(ps) => {
+                let mut out = Vec::new();
+                for p in ps {
+                    match p.simplify() {
+                        Pred::Atom(Cond::Const(false)) => {}
+                        Pred::Atom(Cond::Const(true)) => return Pred::truth(true),
+                        Pred::Or(qs) => out.extend(qs),
+                        q => out.push(q),
+                    }
+                }
+                match out.len() {
+                    0 => Pred::truth(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => Pred::Or(out),
+                }
+            }
+            Pred::Count { terms, op, rhs } => {
+                // Constant-true terms shift the comparison; constant-false
+                // terms vanish.
+                let mut kept = Vec::new();
+                let mut base = 0usize;
+                for t in terms {
+                    match simplify_cond(t) {
+                        Cond::Const(true) => base += 1,
+                        Cond::Const(false) => {}
+                        t => kept.push(t),
+                    }
+                }
+                if kept.is_empty() {
+                    return Pred::truth(op.holds(base, *rhs));
+                }
+                if base == 0 {
+                    return Pred::Count {
+                        terms: kept,
+                        op: *op,
+                        rhs: *rhs,
+                    };
+                }
+                // `base + k op rhs` ⇔ `k op (rhs − base)` when the
+                // subtraction stays in ℕ; otherwise the comparison is
+                // decided by monotonicity.
+                match rhs.checked_sub(base) {
+                    Some(shifted) => Pred::Count {
+                        terms: kept,
+                        op: *op,
+                        rhs: shifted,
+                    },
+                    None => {
+                        // count ≥ base > rhs always.
+                        let always = matches!(op, CmpOp::Ne | CmpOp::Gt | CmpOp::Ge);
+                        Pred::truth(always)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `expr[var ↦ replacement]`.
+pub fn subst_expr(expr: &Expr, var: VarRef, replacement: &Expr) -> Expr {
+    match expr {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Var(v) => {
+            if *v == var {
+                replacement.clone()
+            } else {
+                Expr::Var(*v)
+            }
+        }
+        Expr::Table { index, values } => Expr::Table {
+            index: Box::new(subst_expr(index, var, replacement)),
+            values: values.clone(),
+        },
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(subst_expr(a, var, replacement)),
+            Box::new(subst_expr(b, var, replacement)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(subst_expr(a, var, replacement)),
+            Box::new(subst_expr(b, var, replacement)),
+        ),
+        Expr::Mod(a, m) => Expr::Mod(Box::new(subst_expr(a, var, replacement)), *m),
+    }
+}
+
+/// `cond[var ↦ replacement]`.
+pub fn subst_cond(cond: &Cond, var: VarRef, replacement: &Expr) -> Cond {
+    match cond {
+        Cond::Const(b) => Cond::Const(*b),
+        Cond::Cmp(op, lhs, rhs) => Cond::Cmp(
+            *op,
+            subst_expr(lhs, var, replacement),
+            subst_expr(rhs, var, replacement),
+        ),
+        Cond::Not(inner) => Cond::Not(Box::new(subst_cond(inner, var, replacement))),
+        Cond::And(parts) => Cond::And(
+            parts
+                .iter()
+                .map(|p| subst_cond(p, var, replacement))
+                .collect(),
+        ),
+        Cond::Or(parts) => Cond::Or(
+            parts
+                .iter()
+                .map(|p| subst_cond(p, var, replacement))
+                .collect(),
+        ),
+    }
+}
+
+/// Bottom-up expression simplification: constant folding and table
+/// composition (`outer[inner[e]]` retabulates to a single lookup, the
+/// shape substitution creates on the TME `ord` updates).
+pub fn simplify_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Var(v) => Expr::Var(*v),
+        Expr::Table { index, values } => {
+            let index = simplify_expr(index);
+            match index {
+                Expr::Const(c) if c < values.len() => Expr::Const(values[c]),
+                Expr::Table {
+                    index: inner_index,
+                    values: inner,
+                } if inner.iter().all(|&v| v < values.len()) => Expr::Table {
+                    index: inner_index,
+                    values: inner.iter().map(|&v| values[v]).collect(),
+                },
+                index => Expr::Table {
+                    index: Box::new(index),
+                    values: values.clone(),
+                },
+            }
+        }
+        Expr::Add(a, b) => match (simplify_expr(a), simplify_expr(b)) {
+            (Expr::Const(x), Expr::Const(y)) => Expr::Const(x + y),
+            (Expr::Const(0), e) | (e, Expr::Const(0)) => e,
+            (a, b) => Expr::Add(Box::new(a), Box::new(b)),
+        },
+        Expr::Sub(a, b) => match (simplify_expr(a), simplify_expr(b)) {
+            (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.saturating_sub(y)),
+            (e, Expr::Const(0)) => e,
+            (a, b) => Expr::Sub(Box::new(a), Box::new(b)),
+        },
+        Expr::Mod(a, m) => match simplify_expr(a) {
+            Expr::Const(x) if *m > 0 => Expr::Const(x % m),
+            a => Expr::Mod(Box::new(a), *m),
+        },
+    }
+}
+
+/// Bottom-up condition simplification (expressions simplified, constant
+/// comparisons folded, unit/zero laws applied).
+pub fn simplify_cond(cond: &Cond) -> Cond {
+    match cond {
+        Cond::Const(b) => Cond::Const(*b),
+        Cond::Cmp(op, lhs, rhs) => {
+            let lhs = simplify_expr(lhs);
+            let rhs = simplify_expr(rhs);
+            if let (Expr::Const(a), Expr::Const(b)) = (&lhs, &rhs) {
+                return Cond::Const(op.holds(*a, *b));
+            }
+            Cond::Cmp(*op, lhs, rhs)
+        }
+        Cond::Not(inner) => match simplify_cond(inner) {
+            Cond::Const(b) => Cond::Const(!b),
+            c => Cond::Not(Box::new(c)),
+        },
+        Cond::And(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                match simplify_cond(p) {
+                    Cond::Const(true) => {}
+                    Cond::Const(false) => return Cond::Const(false),
+                    Cond::And(qs) => out.extend(qs),
+                    q => out.push(q),
+                }
+            }
+            match out.len() {
+                0 => Cond::Const(true),
+                1 => out.pop().expect("len checked"),
+                _ => Cond::And(out),
+            }
+        }
+        Cond::Or(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                match simplify_cond(p) {
+                    Cond::Const(false) => {}
+                    Cond::Const(true) => return Cond::Const(true),
+                    Cond::Or(qs) => out.extend(qs),
+                    q => out.push(q),
+                }
+            }
+            match out.len() {
+                0 => Cond::Const(false),
+                1 => out.pop().expect("len checked"),
+                _ => Cond::Or(out),
+            }
+        }
+    }
+}
+
+/// Weakest precondition of a statement sequence: `wp(S, post)` holds at
+/// exactly the states from which executing `S` lands in `post` (exact —
+/// every IR statement terminates).
+pub fn wp_stmts(stmts: &[Stmt], post: &Pred) -> Pred {
+    let mut pred = post.clone();
+    for stmt in stmts.iter().rev() {
+        pred = match stmt {
+            Stmt::Assign(var, expr) => pred.subst(*var, expr),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let wp_then = wp_stmts(then_branch, &pred);
+                let wp_else = wp_stmts(else_branch, &pred);
+                Pred::atom(cond.clone())
+                    .and(wp_then)
+                    .or(Pred::atom(cond.clone()).not().and(wp_else))
+            }
+        };
+    }
+    pred.simplify()
+}
+
+/// Weakest precondition of a command's *body* (the guard is left to the
+/// caller: closure obligations take the form `S ∧ guard ⇒ wp(body, S)`).
+pub fn wp_command(command: &IrCommand, post: &Pred) -> Pred {
+    wp_stmts(&command.body, post)
+}
+
+/// Strongest postcondition of a statement sequence from `pre`. The
+/// existential over each overwritten value is expanded into a finite
+/// disjunction over the target's domain (`domains[i]` is variable `i`'s
+/// domain size), which is exact for this finite-domain IR.
+pub fn sp_stmts(stmts: &[Stmt], pre: &Pred, domains: &[usize]) -> Pred {
+    let mut pred = pre.clone();
+    for stmt in stmts {
+        pred = match stmt {
+            Stmt::Assign(var, expr) => {
+                let branches = (0..domains[var.index()])
+                    .map(|old| {
+                        let old = Expr::int(old);
+                        pred.subst(*var, &old)
+                            .and(Pred::atom(Expr::var(*var).eq(subst_expr(expr, *var, &old))))
+                    })
+                    .collect();
+                Pred::Or(branches)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let through_then = sp_stmts(
+                    then_branch,
+                    &pred.clone().and(Pred::atom(cond.clone())),
+                    domains,
+                );
+                let through_else = sp_stmts(
+                    else_branch,
+                    &pred.clone().and(Pred::atom(cond.clone()).not()),
+                    domains,
+                );
+                through_then.or(through_else)
+            }
+        };
+    }
+    pred.simplify()
+}
+
+/// Strongest postcondition of a command fired from `pre` (guard
+/// conjoined before the body runs).
+pub fn sp_command(command: &IrCommand, pre: &Pred, domains: &[usize]) -> Pred {
+    sp_stmts(
+        &command.body,
+        &pre.clone().and(Pred::atom(command.guard.clone())),
+        domains,
+    )
+}
+
+/// Why an implication could not be decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeTooLarge {
+    /// Variable indices in the obligation's support.
+    pub support: Vec<usize>,
+    /// Number of points the support cone would need.
+    pub points: u128,
+}
+
+impl std::fmt::Display for ConeTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "support cone of {} variables has {} points (cap {})",
+            self.support.len(),
+            self.points,
+            CONE_CAP
+        )
+    }
+}
+
+/// Outcome of deciding one implication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Valid; `by_intervals` records whether the interval fast path
+    /// proved it (without enumerating the cone).
+    Valid {
+        /// Proven by interval refinement alone.
+        by_intervals: bool,
+    },
+    /// Falsified, with a witness valuation (full-length, variables
+    /// outside the support zeroed).
+    CounterExample(Vec<usize>),
+}
+
+/// Sorted variable support of a set of predicates.
+fn support(preds: &[&Pred]) -> Vec<usize> {
+    let mut vars: Vec<usize> = Vec::new();
+    for p in preds {
+        p.visit_reads(&mut |v| vars.push(v.index()));
+    }
+    vars.sort_unstable();
+    vars.dedup();
+    vars
+}
+
+/// Decides `antecedent ⇒ consequent` over the given domains: interval
+/// fast path first, bounded support-cone enumeration second. Neither
+/// stage enumerates program states — the cone is the domain product of
+/// the variables the obligation mentions, nothing more.
+///
+/// # Errors
+///
+/// [`ConeTooLarge`] when the fast path fails and the support cone
+/// exceeds [`CONE_CAP`] points.
+pub fn implication(
+    antecedent: &Pred,
+    consequent: &Pred,
+    domains: &[usize],
+) -> Result<Decision, ConeTooLarge> {
+    // Stage 1: intervals.
+    let mut env: Vec<Interval> = domains.iter().map(|&d| Interval::full(d)).collect();
+    let mut refinable = true;
+    if let Some(cond) = antecedent.as_cond() {
+        if !refine_by_cond(&cond, true, &mut env, domains) {
+            return Ok(Decision::Valid { by_intervals: true });
+        }
+    } else {
+        refinable = false;
+    }
+    if refinable && abs_eval_pred(consequent, &env, domains) == Some(true) {
+        return Ok(Decision::Valid { by_intervals: true });
+    }
+
+    // Stage 2: support-cone enumeration.
+    let vars = support(&[antecedent, consequent]);
+    let points: u128 = vars.iter().map(|&v| domains[v] as u128).product();
+    if points > CONE_CAP {
+        return Err(ConeTooLarge {
+            support: vars,
+            points,
+        });
+    }
+    let mut values = vec![0usize; domains.len()];
+    #[allow(clippy::cast_possible_truncation)] // points ≤ CONE_CAP < usize::MAX
+    let points = points as usize;
+    for mut point in 0..points {
+        for &v in &vars {
+            values[v] = point % domains[v];
+            point /= domains[v];
+        }
+        if antecedent.eval_values(&values) && !consequent.eval_values(&values) {
+            return Ok(Decision::CounterExample(values));
+        }
+    }
+    Ok(Decision::Valid {
+        by_intervals: false,
+    })
+}
+
+/// Three-valued truth of a predicate over an interval environment.
+fn abs_eval_pred(pred: &Pred, env: &[Interval], domains: &[usize]) -> Option<bool> {
+    match pred {
+        Pred::Atom(c) => cond_three_valued(c, env, domains),
+        Pred::Not(p) => abs_eval_pred(p, env, domains).map(|b| !b),
+        Pred::And(ps) => {
+            let mut out = Some(true);
+            for p in ps {
+                match abs_eval_pred(p, env, domains) {
+                    Some(false) => return Some(false),
+                    Some(true) => {}
+                    None => out = None,
+                }
+            }
+            out
+        }
+        Pred::Or(ps) => {
+            let mut out = Some(false);
+            for p in ps {
+                match abs_eval_pred(p, env, domains) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => out = None,
+                }
+            }
+            out
+        }
+        Pred::Count { terms, op, rhs } => {
+            let mut definite = 0usize;
+            let mut possible = 0usize;
+            for t in terms {
+                match cond_three_valued(t, env, domains) {
+                    Some(true) => {
+                        definite += 1;
+                        possible += 1;
+                    }
+                    None => possible += 1,
+                    Some(false) => {}
+                }
+            }
+            let outcomes: Vec<bool> = (definite..=possible).map(|c| op.holds(c, *rhs)).collect();
+            if outcomes.iter().all(|&b| b) {
+                Some(true)
+            } else if outcomes.iter().all(|&b| !b) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox_core::gcl::Program;
+
+    fn two_vars() -> (Program, VarRef, VarRef) {
+        let mut p = Program::new();
+        let x = p.var("x", 4);
+        let y = p.var("y", 4);
+        (p, x, y)
+    }
+
+    #[test]
+    fn wp_of_assignment_is_substitution() {
+        let (_, x, y) = two_vars();
+        let post = Pred::atom(Expr::var(x).eq(Expr::int(2)));
+        let wp = wp_stmts(&[Stmt::assign(x, Expr::var(y).add(Expr::int(1)))], &post);
+        // wp = (y + 1 == 2); check by evaluation.
+        assert!(wp.eval_values(&[0, 1]));
+        assert!(!wp.eval_values(&[0, 2]));
+    }
+
+    #[test]
+    fn wp_sequences_compose_right_to_left() {
+        let (_, x, y) = two_vars();
+        // x := y; y := x + 1 — post: y == 3 ⇔ pre: y == 2.
+        let wp = wp_stmts(
+            &[
+                Stmt::assign(x, Expr::var(y)),
+                Stmt::assign(y, Expr::var(x).add(Expr::int(1))),
+            ],
+            &Pred::atom(Expr::var(y).eq(Expr::int(3))),
+        );
+        assert!(wp.eval_values(&[0, 2]));
+        assert!(!wp.eval_values(&[0, 3]));
+    }
+
+    #[test]
+    fn wp_of_if_splits_on_the_branch_condition() {
+        let (_, x, y) = two_vars();
+        let stmt = Stmt::if_else(
+            Expr::var(y).eq(Expr::int(0)),
+            vec![Stmt::assign(x, Expr::int(1))],
+            vec![Stmt::assign(x, Expr::int(2))],
+        );
+        let wp = wp_stmts(&[stmt], &Pred::atom(Expr::var(x).eq(Expr::int(1))));
+        assert!(wp.eval_values(&[3, 0]));
+        assert!(!wp.eval_values(&[3, 1]));
+    }
+
+    #[test]
+    fn sp_of_assignment_existentially_quantifies_the_old_value() {
+        let (_, x, _) = two_vars();
+        // From x < 2, after x := x + 1: x ∈ {1, 2}.
+        let sp = sp_stmts(
+            &[Stmt::assign(x, Expr::var(x).add(Expr::int(1)))],
+            &Pred::atom(Expr::var(x).lt(Expr::int(2))),
+            &[4, 4],
+        );
+        assert!(!sp.eval_values(&[0, 0]));
+        assert!(sp.eval_values(&[1, 0]));
+        assert!(sp.eval_values(&[2, 0]));
+        assert!(!sp.eval_values(&[3, 0]));
+    }
+
+    #[test]
+    fn table_composition_collapses_nested_lookups() {
+        let (_, x, _) = two_vars();
+        let nested = Expr::var(x).table(vec![1, 0, 3, 2]).table(vec![9, 8, 7, 6]);
+        let simplified = simplify_expr(&nested);
+        assert_eq!(simplified, Expr::var(x).table(vec![8, 9, 6, 7]));
+    }
+
+    #[test]
+    fn counting_terms_evaluate_and_simplify() {
+        let (_, x, y) = two_vars();
+        let count = Pred::count(
+            vec![
+                Expr::var(x).eq(Expr::int(1)),
+                Expr::var(y).eq(Expr::int(1)),
+                Cond::Const(true),
+            ],
+            CmpOp::Ge,
+            2,
+        );
+        assert!(count.eval_values(&[1, 0]));
+        assert!(!count.eval_values(&[0, 0]));
+        // Simplification folds the constant term into the bound.
+        let simplified = count.simplify();
+        assert_eq!(
+            simplified,
+            Pred::count(
+                vec![Expr::var(x).eq(Expr::int(1)), Expr::var(y).eq(Expr::int(1))],
+                CmpOp::Ge,
+                1,
+            )
+        );
+    }
+
+    #[test]
+    fn implication_interval_fast_path_proves_without_enumeration() {
+        let (_, x, _) = two_vars();
+        let ante = Pred::atom(Expr::var(x).lt(Expr::int(2)));
+        let cons = Pred::atom(Expr::var(x).lt(Expr::int(3)));
+        match implication(&ante, &cons, &[4, 4]).unwrap() {
+            Decision::Valid { by_intervals } => assert!(by_intervals),
+            other => panic!("expected valid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_counterexample_is_a_witness() {
+        let (_, x, y) = two_vars();
+        let ante = Pred::atom(Expr::var(x).eq(Expr::var(y)));
+        let cons = Pred::atom(Expr::var(x).eq(Expr::int(0)));
+        match implication(&ante, &cons, &[4, 4]).unwrap() {
+            Decision::CounterExample(witness) => {
+                assert!(ante.eval_values(&witness));
+                assert!(!cons.eval_values(&witness));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_obligation_decided_by_enumeration() {
+        let (_, x, y) = two_vars();
+        // (#{x=1, y=1} >= 2) ⇒ x = 1: valid, but needs the cone (the
+        // antecedent has no Cond form).
+        let ante = Pred::count(
+            vec![Expr::var(x).eq(Expr::int(1)), Expr::var(y).eq(Expr::int(1))],
+            CmpOp::Ge,
+            2,
+        );
+        let cons = Pred::atom(Expr::var(x).eq(Expr::int(1)));
+        match implication(&ante, &cons, &[4, 4]).unwrap() {
+            Decision::Valid { by_intervals } => assert!(!by_intervals),
+            other => panic!("expected valid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wp_command_and_guard_form_the_closure_obligation() {
+        // The TME-ish shape: guard ∧ P ⇒ wp(body, P) for an invariant P.
+        let (_, x, y) = two_vars();
+        let cmd = IrCommand::new(
+            "bump",
+            Expr::var(x).lt(Expr::int(3)),
+            vec![Stmt::assign(x, Expr::var(x).add(Expr::int(1)))],
+        );
+        let invariant = Pred::atom(
+            Expr::var(x)
+                .le(Expr::var(y))
+                .or(Expr::var(y).lt(Expr::int(4))),
+        );
+        let wp = wp_command(&cmd, &invariant);
+        let obligation_ante = Pred::atom(cmd.guard.clone()).and(invariant.clone());
+        match implication(&obligation_ante, &wp, &[4, 4]).unwrap() {
+            Decision::Valid { .. } => {}
+            other => panic!("expected valid, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Bit-agreement between the static stair certificate and the
+//! exhaustive fair-composition verdict.
+//!
+//! The certificate's bottom level `S2` claims to be the exact pairwise
+//! characterization of the wrapped TME legitimate set. These tests pin
+//! that claim to the enumerative ground truth:
+//!
+//! * at n = 2 the state space *is* the 648-point pair cone (the order
+//!   variable collapses to the precedence bit), so `S2` must equal the
+//!   `fair_self_check` legitimate set bit for bit;
+//! * at n = 3 a state is legitimate iff **every** ordered-pair
+//!   projection lies in `S2` — the pairwise-exactness property the
+//!   parametric discharge relies on (release sweep, `--ignored`).
+
+use graybox_analyze::stair::encode;
+use graybox_analyze::tme::stair_cert::tme_stair_certificate;
+use graybox_core::tme_abstract::program_nproc_ir;
+
+/// Mixed-radix variable domains of the n-process model, declaration
+/// order: n modes, n(n-1) channels, n(n-1) beliefs, one order variable.
+fn domains(n: usize) -> Vec<usize> {
+    let mut d = vec![3usize; n];
+    d.extend(std::iter::repeat_n(3, n * (n - 1)));
+    d.extend(std::iter::repeat_n(2, n * (n - 1)));
+    d.push((2..=n).product());
+    d
+}
+
+fn decode_state(mut state: usize, domains: &[usize]) -> Vec<usize> {
+    domains
+        .iter()
+        .map(|&d| {
+            let v = state % d;
+            state /= d;
+            v
+        })
+        .collect()
+}
+
+/// Permutations of `0..n` in lexicographic order — the encoding the
+/// model's `ord` variable indexes into.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    loop {
+        result.push(items.clone());
+        let Some(pivot) = items.windows(2).rposition(|w| w[0] < w[1]) else {
+            break;
+        };
+        let swap = items.iter().rposition(|&x| x > items[pivot]).unwrap();
+        items.swap(pivot, swap);
+        items[pivot + 1..].reverse();
+    }
+    result
+}
+
+/// Accessors over a decoded n-process state vector.
+struct View {
+    n: usize,
+}
+
+impl View {
+    fn local(&self, i: usize, j: usize) -> usize {
+        if j < i {
+            j
+        } else {
+            j - 1
+        }
+    }
+    fn m(&self, v: &[usize], i: usize) -> usize {
+        v[i]
+    }
+    fn c(&self, v: &[usize], i: usize, j: usize) -> usize {
+        v[self.n + i * (self.n - 1) + self.local(i, j)]
+    }
+    fn k(&self, v: &[usize], i: usize, j: usize) -> usize {
+        v[self.n + self.n * (self.n - 1) + i * (self.n - 1) + self.local(i, j)]
+    }
+    fn ord(&self, v: &[usize]) -> usize {
+        v[2 * self.n * (self.n - 1) + self.n]
+    }
+}
+
+/// All ordered-pair projections `(m_i, m_j, c_ij, c_ji, k_ij, k_ji,
+/// e_ij)` of a decoded state, with `e_ij = 1` iff `i` is strictly
+/// earlier in the ground-truth request order.
+fn projections(view: &View, perms: &[Vec<usize>], v: &[usize]) -> Vec<[usize; 7]> {
+    let n = view.n;
+    let perm = &perms[view.ord(v)];
+    let mut pos = vec![0usize; n];
+    for (at, &p) in perm.iter().enumerate() {
+        pos[p] = at;
+    }
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                out.push([
+                    view.m(v, i),
+                    view.m(v, j),
+                    view.c(v, i, j),
+                    view.c(v, j, i),
+                    view.k(v, i, j),
+                    view.k(v, j, i),
+                    usize::from(pos[i] < pos[j]),
+                ]);
+            }
+        }
+    }
+    out
+}
+
+/// The certificate's bottom level as a membership bitmap over the pair
+/// cone.
+fn certificate_legit() -> Vec<bool> {
+    let cert = tme_stair_certificate();
+    let s2 = cert.levels.last().expect("certificate has a bottom level");
+    assert_eq!(s2.name, "S2(legit)");
+    s2.members.clone()
+}
+
+#[test]
+fn s2_equals_exhaustive_legitimate_set_bit_for_bit_at_n2() {
+    let legit = certificate_legit();
+    let (program, init) = program_nproc_ir(2, true);
+    let report = program.fair_self_check(init).expect("n=2 sweep");
+    let doms = domains(2);
+    let view = View { n: 2 };
+    let perms = permutations(2);
+    assert_eq!(report.num_states, legit.len(), "n=2 space is the pair cone");
+    for s in 0..report.num_states {
+        let v = decode_state(s, &doms);
+        let p = projections(&view, &perms, &v)[0];
+        assert_eq!(
+            legit[encode(p)],
+            report.legitimate.contains(s),
+            "state {s} = {v:?}, projection {p:?}"
+        );
+    }
+    assert_eq!(
+        legit.iter().filter(|&&b| b).count(),
+        report.num_legitimate()
+    );
+}
+
+#[test]
+#[ignore = "full n=3 sweep (~7.5M states) — run under --release"]
+fn pairwise_s2_membership_equals_exhaustive_verdict_at_n3() {
+    let legit = certificate_legit();
+    let (program, init) = program_nproc_ir(3, true);
+    let report = program.fair_self_check(init).expect("n=3 sweep");
+    let doms = domains(3);
+    let view = View { n: 3 };
+    let perms = permutations(3);
+    let mut mismatches = 0usize;
+    for s in 0..report.num_states {
+        let v = decode_state(s, &doms);
+        let allowed = projections(&view, &perms, &v)
+            .into_iter()
+            .all(|p| legit[encode(p)]);
+        if allowed != report.legitimate.contains(s) {
+            mismatches += 1;
+            if mismatches <= 5 {
+                eprintln!(
+                    "mismatch at state {s}: pairwise={allowed}, exhaustive={}",
+                    report.legitimate.contains(s)
+                );
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "pairwise characterization is not exact");
+}

@@ -606,6 +606,22 @@ fn main() {
         samples.push(sample);
     }
 
+    // --- Static convergence certifier (all modes): the full flagship
+    // run — pair dynamics re-derived from the IR, ~9 700 stair
+    // obligations, parametric side conditions at n=3 — must come back
+    // clean. No state enumeration happens on this path, which is the
+    // whole point of the certify-vs-exhaustive speedup row below. ---
+    {
+        let sample = bench("certify/tme", "static-wp", 500, || {
+            let report = graybox_analyze::tme::stair_cert::certify_tme(
+                graybox_analyze::tme::stair_cert::CertifyTarget::Flagship,
+            );
+            assert!(report.is_clean(), "flagship certificate regressed");
+            report
+        });
+        samples.push(sample);
+    }
+
     // --- Aggregate speedups (baseline ns / new ns, per bench name). ---
     let speedup = |name: &str, new_engine: &str, base_engine: &str| -> Option<(String, f64)> {
         let find = |engine: &str| {
@@ -676,6 +692,21 @@ fn main() {
             speedups.push((
                 "tme_exhaustive/3proc/reduced-vs-full".to_string(),
                 full / reduced,
+            ));
+        }
+        // The static certifier against the exhaustive n=3 verdict it
+        // replaces — same claim (convergence of the wrapped model, and
+        // the certificate holds for every n, not just 3).
+        if let (Some(exhaustive), Some(certify)) = (
+            row("tme_exhaustive/3proc"),
+            samples
+                .iter()
+                .find(|s| s.name == "certify/tme")
+                .map(|s| s.ns_per_iter),
+        ) {
+            speedups.push((
+                "certify/tme/vs-3proc-exhaustive".to_string(),
+                exhaustive / certify,
             ));
         }
     }

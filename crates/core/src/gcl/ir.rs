@@ -231,6 +231,20 @@ impl Expr {
         }
     }
 
+    /// Evaluates against a plain valuation indexed by variable index —
+    /// the hook the `graybox-analyze` predicate transformers use to run
+    /// IR on enumerated valuations without compiling a packed layout.
+    pub fn eval_values(&self, values: &[usize]) -> usize {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => values[v.index()],
+            Expr::Table { index, values: t } => t[index.eval_values(values)],
+            Expr::Add(a, b) => a.eval_values(values) + b.eval_values(values),
+            Expr::Sub(a, b) => a.eval_values(values).saturating_sub(b.eval_values(values)),
+            Expr::Mod(a, m) => a.eval_values(values) % m,
+        }
+    }
+
     /// Calls `visit` for every variable this expression reads.
     pub fn visit_reads(&self, visit: &mut impl FnMut(VarRef)) {
         match self {
@@ -328,6 +342,18 @@ impl Cond {
         }
     }
 
+    /// Evaluates against a plain valuation indexed by variable index
+    /// (the [`Expr::eval_values`] twin for conditions).
+    pub fn eval_values(&self, values: &[usize]) -> bool {
+        match self {
+            Cond::Const(b) => *b,
+            Cond::Cmp(op, lhs, rhs) => op.holds(lhs.eval_values(values), rhs.eval_values(values)),
+            Cond::Not(inner) => !inner.eval_values(values),
+            Cond::And(parts) => parts.iter().all(|p| p.eval_values(values)),
+            Cond::Or(parts) => parts.iter().any(|p| p.eval_values(values)),
+        }
+    }
+
     /// Calls `visit` for every variable this condition reads.
     pub fn visit_reads(&self, visit: &mut impl FnMut(VarRef)) {
         match self {
@@ -394,6 +420,31 @@ impl Stmt {
         }
     }
 
+    /// Executes against a plain valuation indexed by variable index.
+    /// Later statements observe earlier writes, exactly as in
+    /// [`Stmt::exec`]; domain membership of written values is *not*
+    /// checked here (the compiler checks it, the analyzer's interval
+    /// pass flags it).
+    pub fn exec_values(&self, values: &mut [usize]) {
+        match self {
+            Stmt::Assign(var, expr) => values[var.index()] = expr.eval_values(values),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let branch = if cond.eval_values(values) {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                for stmt in branch {
+                    stmt.exec_values(values);
+                }
+            }
+        }
+    }
+
     /// Calls `read` for every variable a contained expression or
     /// condition reads, and `write` for every assignment target (a
     /// *may*-footprint: conditional branches contribute regardless of
@@ -437,6 +488,20 @@ impl IrCommand {
     pub fn apply(&self, s: &mut State<'_>) {
         for stmt in &self.body {
             stmt.exec(s);
+        }
+    }
+
+    /// Evaluates the guard over a plain valuation indexed by variable
+    /// index.
+    pub fn guard_holds_values(&self, values: &[usize]) -> bool {
+        self.guard.eval_values(values)
+    }
+
+    /// Executes the body over a plain valuation indexed by variable
+    /// index.
+    pub fn apply_values(&self, values: &mut [usize]) {
+        for stmt in &self.body {
+            stmt.exec_values(values);
         }
     }
 
@@ -584,6 +649,41 @@ mod tests {
                 command: "overflow".into()
             }
         );
+    }
+
+    #[test]
+    fn valuation_hooks_match_compiled_semantics() {
+        // Execute the same command through `exec_values` and through the
+        // packed compiler; the successor states must agree.
+        let mut p = Program::new();
+        let x = p.var("x", 5);
+        let y = p.var("y", 5);
+        let cmd = IrCommand::new(
+            "mix",
+            Expr::var(x).lt(Expr::int(4)),
+            vec![
+                Stmt::assign(y, Expr::var(x).add(Expr::int(3)).modulo(5)),
+                Stmt::when(
+                    Expr::var(y).eq(Expr::int(0)),
+                    vec![Stmt::assign(x, Expr::var(y).table(vec![2, 0, 1, 3, 4]))],
+                ),
+            ],
+        );
+        p.command_ir(cmd.clone());
+        let compiled = p.compile(|_| true).unwrap();
+        for x0 in 0..5usize {
+            for y0 in 0..5usize {
+                let mut vals = vec![x0, y0];
+                let enabled = cmd.guard_holds_values(&vals);
+                assert_eq!(enabled, x0 < 4);
+                if enabled {
+                    cmd.apply_values(&mut vals);
+                }
+                let from = x0 + 5 * y0;
+                let to = vals[0] + 5 * vals[1];
+                assert!(compiled.system().has_edge(from, to), "({x0},{y0})");
+            }
+        }
     }
 
     #[test]

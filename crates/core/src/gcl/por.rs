@@ -86,6 +86,31 @@ impl Independence {
         indep
     }
 
+    /// Builds the relation from an explicit list of unordered
+    /// independent pairs — the entry point for analyses that establish
+    /// independence by means beyond footprint disjointness (e.g. the
+    /// interval-refined relation in `graybox-analyze`, which also
+    /// admits pairs whose guards are jointly unsatisfiable and which
+    /// provably cannot enable each other). The diagonal stays
+    /// dependent; each pair is symmetrized.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index or a diagonal pair.
+    pub fn from_pairs(num_commands: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut indep = Independence {
+            num_commands,
+            bits: vec![0u64; (num_commands * num_commands).div_ceil(64).max(1)],
+        };
+        for &(a, b) in pairs {
+            assert!(a < num_commands && b < num_commands, "pair out of range");
+            assert_ne!(a, b, "the diagonal is dependent by convention");
+            indep.set(a, b);
+            indep.set(b, a);
+        }
+        indep
+    }
+
     fn set(&mut self, a: usize, b: usize) {
         let at = a * self.num_commands + b;
         self.bits[at / 64] |= 1u64 << (at % 64);

@@ -357,6 +357,18 @@ impl SymmetrySpec {
         self.cmd_perm[g][c] as usize
     }
 
+    /// The position variable `i` is carried to by element `g` — the
+    /// static counterpart of [`command_image`](Self::command_image),
+    /// used by certifier passes that argue "one representative pair
+    /// suffices" from the group's transitivity on variable positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn variable_image(&self, g: usize, i: usize) -> usize {
+        self.var_perm[g][i] as usize
+    }
+
     /// `g ∘ f` as an element index (`(g ∘ f)·w = g·(f·w)`).
     pub(super) fn comp(&self, g: u16, f: u16) -> u16 {
         self.compose[g as usize * self.order + f as usize]
