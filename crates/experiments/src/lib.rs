@@ -39,6 +39,7 @@
 pub mod experiments;
 pub mod incident;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{all_ids, run_experiment, ExperimentResult};

@@ -11,6 +11,8 @@
 //! graybox-experiments repro f.repro --shrink
 //!                                      # shrink it first, report the
 //!                                      # minimal schedule
+//! graybox-experiments theta-sweep      # θ curves on 10³–10⁶-process
+//!                                      # rings (--smoke: 10³ only)
 //! ```
 
 use std::process::ExitCode;
@@ -28,13 +30,24 @@ fn main() -> ExitCode {
         Scale::Full
     };
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: graybox-experiments [--smoke] <list|all|ID...>");
+        eprintln!("usage: graybox-experiments [--smoke] <list|all|theta-sweep|ID...>");
         eprintln!("       graybox-experiments repro <file> [--shrink]");
         eprintln!("known ids: {}", all_ids().join(", "));
         return ExitCode::from(2);
     }
     if args[0] == "repro" {
         return run_repro(&args[1..]);
+    }
+    if args[0] == "theta-sweep" {
+        // Ring sizes; --smoke keeps CI to the smallest. The 10⁶ point is
+        // opt-in via `theta-sweep full6` since it takes minutes per θ.
+        let sizes: &[u32] = match (scale, args.get(1).map(String::as_str)) {
+            (Scale::Smoke, _) => &[1_000],
+            (Scale::Full, Some("full6")) => &[1_000, 10_000, 100_000, 1_000_000],
+            (Scale::Full, _) => &[1_000, 10_000, 100_000],
+        };
+        println!("{}", graybox_experiments::sweep::render_sweep(sizes, 42));
+        return ExitCode::SUCCESS;
     }
     if args[0] == "list" {
         for id in all_ids() {

@@ -1,0 +1,103 @@
+//! Quick probe: bare vs idle(wheel) vs idle(heap) on the relay ring.
+use std::time::Instant;
+
+use graybox_clock::ProcessId;
+use graybox_simnet::{
+    BareSimulation, Context, Process, ReferenceSimulation, SimConfig, SimTime, Simulation,
+};
+
+#[derive(Debug)]
+struct Relay {
+    id: ProcessId,
+    n: u32,
+}
+
+impl Process for Relay {
+    type Msg = u32;
+    type Client = u32;
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+    fn on_message(&mut self, _from: ProcessId, hops: u32, ctx: &mut Context<u32>) {
+        if hops > 0 {
+            ctx.send(ProcessId((self.id.0 + 1) % self.n), hops - 1);
+        }
+    }
+    fn on_timer(&mut self, _tag: u32, _ctx: &mut Context<u32>) {}
+    fn on_client(&mut self, hops: u32, ctx: &mut Context<u32>) {
+        ctx.send(ProcessId((self.id.0 + 1) % self.n), hops);
+    }
+}
+
+fn relays(n: u32) -> Vec<Relay> {
+    (0..n)
+        .map(|id| Relay {
+            id: ProcessId(id),
+            n,
+        })
+        .collect()
+}
+
+fn time_it(label: &str, rounds: u32, mut f: impl FnMut() -> usize) {
+    let mut best = u128::MAX;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let steps = std::hint::black_box(f());
+        let el = start.elapsed().as_nanos();
+        best = best.min(el / steps as u128);
+    }
+    println!("{label:<18} {best:>6} ns/event");
+}
+
+fn main() {
+    const HOPS: u32 = 4000;
+    let limit = SimTime::from(500_000);
+    let starts = [1u64, 5, 9];
+    time_it("bare", 40, || {
+        let mut sim = BareSimulation::new(relays(3), SimConfig::with_seed(2024));
+        for t in starts {
+            sim.schedule_client(SimTime::from(t), ProcessId(0), HOPS);
+        }
+        sim.run_until(limit).len()
+    });
+    time_it("idle-wheel", 40, || {
+        let mut sim = Simulation::new(relays(3), SimConfig::with_seed(2024));
+        for t in starts {
+            sim.schedule_client(SimTime::from(t), ProcessId(0), HOPS);
+        }
+        sim.run_until(limit).len()
+    });
+    time_it("idle-heap", 40, || {
+        let mut sim: ReferenceSimulation<Relay> =
+            Simulation::with_queue(relays(3), SimConfig::with_seed(2024));
+        for t in starts {
+            sim.schedule_client(SimTime::from(t), ProcessId(0), HOPS);
+        }
+        sim.run_until(limit).len()
+    });
+    time_it("idle-wheel-quiet", 40, || {
+        let mut sim = Simulation::new(relays(3), SimConfig::with_seed(2024));
+        for t in starts {
+            sim.schedule_client(SimTime::from(t), ProcessId(0), HOPS);
+        }
+        usize::try_from(sim.run_until_quiet(limit)).unwrap()
+    });
+    time_it("idle-heap-quiet", 40, || {
+        let mut sim: ReferenceSimulation<Relay> =
+            Simulation::with_queue(relays(3), SimConfig::with_seed(2024));
+        for t in starts {
+            sim.schedule_client(SimTime::from(t), ProcessId(0), HOPS);
+        }
+        usize::try_from(sim.run_until_quiet(limit)).unwrap()
+    });
+    time_it("recording-wheel", 40, || {
+        let mut sim = Simulation::new(relays(3), SimConfig::with_seed(2024));
+        sim.start_recording();
+        for t in starts {
+            sim.schedule_client(SimTime::from(t), ProcessId(0), HOPS);
+        }
+        let steps = sim.run_until(limit).len();
+        std::hint::black_box(sim.take_oplog());
+        steps
+    });
+}

@@ -28,8 +28,11 @@ pub struct Envelope<M> {
 ///
 /// The Communication Spec requires FIFO order; the simulator preserves it
 /// by scheduling per-channel delivery times monotonically and always
-/// delivering the queue head. Fault injection manipulates the queue
-/// directly: dropping, duplicating, corrupting, injecting, or flushing.
+/// delivering the queue head. This dense per-pair form remains the
+/// substrate of [`crate::BareSimulation`]; the instrumented
+/// [`crate::Simulation`] stores channels sparsely in a
+/// [`crate::chanmap::ChannelStore`], which is where fault injection
+/// (drop/duplicate/corrupt/inject/flush/reorder) manipulates queues.
 #[derive(Debug, Clone)]
 pub struct Channel<M> {
     queue: VecDeque<Envelope<M>>,
@@ -75,33 +78,6 @@ impl<M> Channel<M> {
         self.queue.pop_front()
     }
 
-    pub(crate) fn remove(&mut self, index: usize) -> Option<Envelope<M>> {
-        self.queue.remove(index)
-    }
-
-    pub(crate) fn get_mut(&mut self, index: usize) -> Option<&mut Envelope<M>> {
-        self.queue.get_mut(index)
-    }
-
-    pub(crate) fn get(&self, index: usize) -> Option<&Envelope<M>> {
-        self.queue.get(index)
-    }
-
-    pub(crate) fn clear(&mut self) {
-        self.queue.clear();
-    }
-
-    /// Swaps the queue positions of messages `i` and `j` (reordering
-    /// fault). Returns false — and leaves the queue untouched — unless
-    /// both indices exist and differ.
-    pub(crate) fn swap(&mut self, i: usize, j: usize) -> bool {
-        if i == j || i >= self.queue.len() || j >= self.queue.len() {
-            return false;
-        }
-        self.queue.swap(i, j);
-        true
-    }
-
     /// Computes the next delivery time honouring FIFO: at least `proposed`,
     /// and never earlier than a previously scheduled delivery.
     pub(crate) fn schedule(&mut self, proposed: SimTime) -> SimTime {
@@ -145,33 +121,5 @@ mod tests {
         assert_eq!(t1, SimTime::from(10));
         assert_eq!(t2, SimTime::from(10));
         assert_eq!(t3, SimTime::from(20));
-    }
-
-    #[test]
-    fn remove_targets_by_index() {
-        let mut ch = Channel::new();
-        ch.push_back(env(1, "a"));
-        ch.push_back(env(2, "b"));
-        ch.push_back(env(3, "c"));
-        let removed = ch.remove(1).unwrap();
-        assert_eq!(removed.payload, "b");
-        let rest: Vec<_> = ch.messages().map(|e| e.payload.clone()).collect();
-        assert_eq!(rest, vec!["a", "c"]);
-    }
-
-    #[test]
-    fn clear_empties_the_channel() {
-        let mut ch = Channel::new();
-        ch.push_back(env(1, "a"));
-        ch.clear();
-        assert!(ch.is_empty());
-    }
-
-    #[test]
-    fn get_mut_allows_in_place_corruption() {
-        let mut ch = Channel::new();
-        ch.push_back(env(1, "a"));
-        ch.get_mut(0).unwrap().payload = "garbage".to_string();
-        assert_eq!(ch.get(0).unwrap().payload, "garbage");
     }
 }

@@ -53,23 +53,27 @@
 #![warn(missing_docs)]
 
 mod baseline;
+pub mod chanmap;
 mod channel;
 mod corrupt;
 pub mod failpoint;
 pub mod oplog;
 mod process;
+pub mod queue;
 mod record;
 pub mod replay;
 mod sim;
 mod time;
 
 pub use baseline::BareSimulation;
+pub use chanmap::ChannelView;
 pub use channel::{Channel, Envelope, MsgId};
 pub use corrupt::Corruptible;
 pub use failpoint::FailpointRegistry;
 pub use oplog::{DrawStream, Op, OpLog};
 pub use process::{Context, Process, TimerTag, TimerTagExt};
+pub use queue::{EventQueue, HeapQueue, PackedEvent, TimerWheel};
 pub use record::{SendRecord, StepKind, StepRecord};
 pub use replay::{ReplayCursor, ReplayError};
-pub use sim::{SimConfig, Simulation};
+pub use sim::{ReferenceSimulation, SimConfig, SimStats, Simulation};
 pub use time::SimTime;

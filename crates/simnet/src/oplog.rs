@@ -18,11 +18,29 @@
 //! and failpoint is verified against it, so any divergence is detected at
 //! the first mismatching operation rather than at the final verdict.
 //!
+//! # Storage
+//!
+//! Recording sits on the simulator's hot path (one pop record per event,
+//! one draw record per delay), so ops are stored as fixed-size packed
+//! records — a kind byte, an interned site index, and two 64-bit
+//! operands — rather than as enum values carrying heap strings. Records
+//! live in fixed-size segments (4096 records each) instead of one flat
+//! `Vec`: appending never relocates earlier records, so a million-event
+//! recording costs a bounded ~100 KiB allocation every 4096 ops rather
+//! than doubling-reallocs that copy the whole log (tens of megabytes of
+//! memcpy at scale, and a measurable per-event tax even on small runs).
+//! Repeated
+//! failpoint site names are interned into a small side table, so a
+//! million `channel.drop` firings store the string once. The enum-shaped
+//! [`Op`] view is materialized on demand ([`OpLog::get`] /
+//! [`OpLog::iter`]).
+//!
 //! The log serializes to a line-oriented text format (one op per line,
 //! [`OpLog::to_text`]/[`OpLog::parse`]) so replay artifacts can be
 //! diffed byte-for-byte and attached to incident reports.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 use crate::SimTime;
 
@@ -70,7 +88,7 @@ impl fmt::Display for DrawStream {
     }
 }
 
-/// One logged operation.
+/// One logged operation (the materialized view of a packed record).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// A pseudo-random value was consumed.
@@ -100,11 +118,81 @@ pub enum Op {
     },
 }
 
-/// The append-only operation log of one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct OpLog {
-    ops: Vec<Op>,
+/// Packed record kinds. Draws use `1 + stream index` so one byte carries
+/// both the op kind and the stream tag.
+const KIND_POP: u8 = 0;
+const KIND_DRAW_DELAY: u8 = 1;
+const KIND_DRAW_PICK: u8 = 2;
+const KIND_DRAW_CORRUPT: u8 = 3;
+const KIND_DRAW_FAULT: u8 = 4;
+const KIND_FAILPOINT: u8 = 5;
+
+fn stream_kind(stream: DrawStream) -> u8 {
+    match stream {
+        DrawStream::Delay => KIND_DRAW_DELAY,
+        DrawStream::NonFifoPick => KIND_DRAW_PICK,
+        DrawStream::Corrupt => KIND_DRAW_CORRUPT,
+        DrawStream::FaultTarget => KIND_DRAW_FAULT,
+    }
 }
+
+fn kind_stream(kind: u8) -> Option<DrawStream> {
+    Some(match kind {
+        KIND_DRAW_DELAY => DrawStream::Delay,
+        KIND_DRAW_PICK => DrawStream::NonFifoPick,
+        KIND_DRAW_CORRUPT => DrawStream::Corrupt,
+        KIND_DRAW_FAULT => DrawStream::FaultTarget,
+        _ => return None,
+    })
+}
+
+/// One fixed-size record: `kind` selects the op, `site` indexes the
+/// interned site table (failpoints only), `a`/`b` carry the operands
+/// (`value`/unused for draws, `time`/`seq` for pops, `time`/detail-index
+/// for failpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedOp {
+    kind: u8,
+    site: u16,
+    a: u64,
+    b: u64,
+}
+
+/// Records per storage segment. 4096 × 24 B ≈ 96 KiB: big enough that
+/// the segment-boundary branch is cold, small enough that the allocation
+/// pause stays bounded.
+const SEG: usize = 4096;
+
+/// The append-only operation log of one simulation run.
+///
+/// Equality compares the packed representation directly; this is sound
+/// because both recording and parsing intern sites (and append details)
+/// in first-appearance order, so equal runs produce identical tables.
+/// (`PartialEq` is hand-written to compare the *logical* record
+/// sequence, so preallocated-but-empty segments don't make two equal
+/// logs compare unequal.)
+#[derive(Debug, Clone, Default)]
+pub struct OpLog {
+    /// Packed records in execution order, in fixed [`SEG`]-sized
+    /// segments (only the last segment is partial). Appends never move
+    /// earlier records — see the module docs on storage.
+    segments: Vec<Vec<PackedOp>>,
+    /// Total record count across all segments.
+    len: usize,
+    sites: Vec<String>,
+    details: Vec<String>,
+}
+
+impl PartialEq for OpLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.sites == other.sites
+            && self.details == other.details
+            && self.packed_iter().eq(other.packed_iter())
+    }
+}
+
+impl Eq for OpLog {}
 
 /// Error from [`OpLog::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,44 +224,158 @@ impl OpLog {
         OpLog::default()
     }
 
-    /// Appends an operation.
-    pub fn push(&mut self, op: Op) {
-        self.ops.push(op);
+    /// An empty log with its first segment preallocated. Recording paths
+    /// use this to keep early appends off the allocator. Segments are
+    /// fixed-size, so any nonzero `capacity` reserves one full segment.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let segments = if capacity == 0 {
+            Vec::new()
+        } else {
+            vec![Vec::with_capacity(SEG)]
+        };
+        OpLog {
+            segments,
+            len: 0,
+            sites: Vec::new(),
+            details: Vec::new(),
+        }
     }
 
-    /// The logged operations, in execution order.
-    pub fn ops(&self) -> &[Op] {
-        &self.ops
+    /// The packed records in execution order, across segments.
+    fn packed_iter(&self) -> impl Iterator<Item = &PackedOp> + '_ {
+        self.segments.iter().flatten()
+    }
+
+    /// Appends one packed record, opening a fresh segment when the
+    /// current one is full. The in-segment push never reallocates:
+    /// segments are created at full capacity.
+    #[inline]
+    fn push_record(&mut self, record: PackedOp) {
+        match self.segments.last_mut() {
+            Some(seg) if seg.len() < SEG => seg.push(record),
+            _ => {
+                let mut seg = Vec::with_capacity(SEG);
+                seg.push(record);
+                self.segments.push(seg);
+            }
+        }
+        self.len += 1;
+    }
+
+    fn intern_site(&mut self, site: &str) -> u16 {
+        // Linear scan: runs fire a handful of distinct sites (the nine
+        // fault primitives), so this beats hashing.
+        match self.sites.iter().position(|s| s == site) {
+            Some(index) => u16::try_from(index).expect("site table fits u16"),
+            None => {
+                let index = u16::try_from(self.sites.len()).expect("site table fits u16");
+                self.sites.push(site.to_string());
+                index
+            }
+        }
+    }
+
+    /// Appends a draw record — the hot-path form of
+    /// [`push`](OpLog::push)`(Op::Draw { .. })`.
+    pub fn push_draw(&mut self, stream: DrawStream, value: u64) {
+        self.push_record(PackedOp {
+            kind: stream_kind(stream),
+            site: 0,
+            a: value,
+            b: 0,
+        });
+    }
+
+    /// Appends a scheduler-pop record — the hot-path form of
+    /// [`push`](OpLog::push)`(Op::Pop { .. })`.
+    pub fn push_pop(&mut self, time: SimTime, seq: u64) {
+        self.push_record(PackedOp {
+            kind: KIND_POP,
+            site: 0,
+            a: time.ticks(),
+            b: seq,
+        });
+    }
+
+    /// Appends a failpoint-firing record, interning the site name.
+    pub fn push_failpoint(&mut self, time: SimTime, site: &str, detail: String) {
+        let site = self.intern_site(site);
+        let detail_index = u64::try_from(self.details.len()).expect("detail table fits u64");
+        self.details.push(detail);
+        self.push_record(PackedOp {
+            kind: KIND_FAILPOINT,
+            site,
+            a: time.ticks(),
+            b: detail_index,
+        });
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Op) {
+        match op {
+            Op::Draw { stream, value } => self.push_draw(stream, value),
+            Op::Pop { time, seq } => self.push_pop(time, seq),
+            Op::Failpoint { time, site, detail } => self.push_failpoint(time, &site, detail),
+        }
+    }
+
+    fn materialize(&self, record: PackedOp) -> Op {
+        match record.kind {
+            KIND_POP => Op::Pop {
+                time: SimTime::from(record.a),
+                seq: record.b,
+            },
+            KIND_FAILPOINT => Op::Failpoint {
+                time: SimTime::from(record.a),
+                site: self.sites[usize::from(record.site)].clone(),
+                detail: self.details[usize::try_from(record.b).expect("detail index fits usize")]
+                    .clone(),
+            },
+            kind => Op::Draw {
+                stream: kind_stream(kind).expect("packed record has a valid kind"),
+                value: record.a,
+            },
+        }
+    }
+
+    /// The `index`-th logged operation, materialized.
+    pub fn get(&self, index: usize) -> Option<Op> {
+        self.segments
+            .get(index / SEG)
+            .and_then(|seg| seg.get(index % SEG))
+            .map(|record| self.materialize(*record))
+    }
+
+    /// Iterates the logged operations in execution order, materializing
+    /// each.
+    pub fn iter(&self) -> impl Iterator<Item = Op> + '_ {
+        self.packed_iter().map(|record| self.materialize(*record))
     }
 
     /// Number of logged operations.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.len
     }
 
     /// True for the empty log.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
-    }
-
-    /// Consumes the log, returning its operations.
-    pub fn into_ops(self) -> Vec<Op> {
-        self.ops
+        self.len == 0
     }
 
     /// Number of draws logged for `stream`.
     pub fn draws_in(&self, stream: DrawStream) -> usize {
-        self.ops
-            .iter()
-            .filter(|op| matches!(op, Op::Draw { stream: s, .. } if *s == stream))
-            .count()
+        let kind = stream_kind(stream);
+        self.packed_iter().filter(|r| r.kind == kind).count()
     }
 
     /// Number of failpoint firings logged for `site`.
     pub fn failpoint_firings(&self, site: &str) -> usize {
-        self.ops
-            .iter()
-            .filter(|op| matches!(op, Op::Failpoint { site: s, .. } if s == site))
+        let Some(index) = self.sites.iter().position(|s| s == site) else {
+            return 0;
+        };
+        let site = u16::try_from(index).expect("site table fits u16");
+        self.packed_iter()
+            .filter(|r| r.kind == KIND_FAILPOINT && r.site == site)
             .count()
     }
 
@@ -186,23 +388,36 @@ impl OpLog {
     /// f 80 channel.drop drop message #0 on p0→p1
     /// ```
     pub fn to_text(&self) -> String {
-        let mut out = String::with_capacity(16 + self.ops.len() * 12);
+        let mut out = String::with_capacity(16 + self.len * 12);
         out.push_str(OPLOG_HEADER);
         out.push('\n');
-        for op in &self.ops {
-            match op {
-                Op::Draw { stream, value } => {
-                    out.push_str(&format!("d {} {value}\n", stream.tag()));
+        for record in self.packed_iter() {
+            match record.kind {
+                KIND_POP => {
+                    let _ = writeln!(out, "p {} {}", record.a, record.b);
                 }
-                Op::Pop { time, seq } => {
-                    out.push_str(&format!("p {} {seq}\n", time.ticks()));
-                }
-                Op::Failpoint { time, site, detail } => {
+                KIND_FAILPOINT => {
+                    let site = &self.sites[usize::from(record.site)];
+                    let detail =
+                        &self.details[usize::try_from(record.b).expect("detail index fits usize")];
                     // Details are free text (no newlines by construction of
                     // the injectors; sanitize defensively so the format
                     // stays line-oriented).
-                    let detail = detail.replace('\n', " ");
-                    out.push_str(&format!("f {} {site} {detail}\n", time.ticks()));
+                    let _ = write!(out, "f {} {site} ", record.a);
+                    for (i, piece) in detail.split('\n').enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        out.push_str(piece);
+                    }
+                    // The space after the site is kept even for an empty
+                    // detail: `parse` reads it back as an empty detail,
+                    // keeping round trips byte-stable.
+                    out.push('\n');
+                }
+                kind => {
+                    let stream = kind_stream(kind).expect("packed record has a valid kind");
+                    let _ = writeln!(out, "d {} {}", stream.tag(), record.a);
                 }
             }
         }
@@ -220,7 +435,7 @@ impl OpLog {
             Some((_, header)) if header.trim_end() == OPLOG_HEADER => {}
             _ => return Err(err(1, "missing `graybox-oplog v1` header")),
         }
-        let mut ops = Vec::new();
+        let mut log = OpLog::new();
         for (index, line) in lines {
             let lineno = index + 1;
             let line = line.trim_end();
@@ -230,7 +445,7 @@ impl OpLog {
             let mut parts = line.splitn(2, ' ');
             let kind = parts.next().unwrap_or_default();
             let rest = parts.next().unwrap_or_default();
-            let op = match kind {
+            match kind {
                 "d" => {
                     let (tag, value) = rest
                         .split_once(' ')
@@ -240,7 +455,7 @@ impl OpLog {
                     let value = value
                         .parse::<u64>()
                         .map_err(|_| err(lineno, "draw value is not a u64"))?;
-                    Op::Draw { stream, value }
+                    log.push_draw(stream, value);
                 }
                 "p" => {
                     let (time, seq) = rest
@@ -252,10 +467,7 @@ impl OpLog {
                     let seq = seq
                         .parse::<u64>()
                         .map_err(|_| err(lineno, "pop seq is not a u64"))?;
-                    Op::Pop {
-                        time: SimTime::from(time),
-                        seq,
-                    }
+                    log.push_pop(SimTime::from(time), seq);
                 }
                 "f" => {
                     let (time, rest) = rest
@@ -268,17 +480,12 @@ impl OpLog {
                         Some((site, detail)) => (site, detail),
                         None => (rest, ""),
                     };
-                    Op::Failpoint {
-                        time: SimTime::from(time),
-                        site: site.to_string(),
-                        detail: detail.to_string(),
-                    }
+                    log.push_failpoint(SimTime::from(time), site, detail.to_string());
                 }
                 _ => return Err(err(lineno, "unknown op kind (expected d/p/f)")),
-            };
-            ops.push(op);
+            }
         }
-        Ok(OpLog { ops })
+        Ok(log)
     }
 }
 
@@ -331,11 +538,39 @@ mod tests {
     }
 
     #[test]
+    fn get_and_iter_materialize_in_order() {
+        let log = sample();
+        assert_eq!(
+            log.get(1),
+            Some(Op::Pop {
+                time: SimTime::from(17),
+                seq: 42,
+            })
+        );
+        assert_eq!(log.get(4), None);
+        let all: Vec<Op> = log.iter().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(log.get(3), Some(all[3].clone()));
+    }
+
+    #[test]
+    fn repeated_sites_are_interned_once() {
+        let mut log = OpLog::with_capacity(64);
+        for i in 0..1000u64 {
+            log.push_failpoint(SimTime::from(i), "channel.drop", String::new());
+            log.push_failpoint(SimTime::from(i), "msg.inject", String::new());
+        }
+        assert_eq!(log.sites.len(), 2);
+        assert_eq!(log.failpoint_firings("channel.drop"), 1000);
+        assert_eq!(log.failpoint_firings("msg.inject"), 1000);
+    }
+
+    #[test]
     fn failpoint_without_detail_parses() {
         let text = format!("{OPLOG_HEADER}\nf 3 sim.delay\n");
         let log = OpLog::parse(&text).expect("parses");
         assert_eq!(
-            log.ops()[0],
+            log.get(0).unwrap(),
             Op::Failpoint {
                 time: SimTime::from(3),
                 site: "sim.delay".to_string(),

@@ -62,11 +62,23 @@ pub struct Context<M> {
 
 impl<M> Context<M> {
     pub(crate) fn new(now: SimTime, self_id: ProcessId) -> Self {
+        Context::with_buffers(now, self_id, Vec::new(), Vec::new())
+    }
+
+    /// Builds a context around caller-provided (typically recycled) action
+    /// buffers, so the simulator's allocation-free stepping path can reuse
+    /// its scratch vectors instead of allocating per event.
+    pub(crate) fn with_buffers(
+        now: SimTime,
+        self_id: ProcessId,
+        outgoing: Vec<(ProcessId, M)>,
+        timers: Vec<(TimerTag, u64)>,
+    ) -> Self {
         Context {
             now,
             self_id,
-            outgoing: Vec::new(),
-            timers: Vec::new(),
+            outgoing,
+            timers,
         }
     }
 

@@ -141,7 +141,7 @@ fn describe(op: &Op) -> String {
 /// reports the original error.
 #[derive(Debug)]
 pub struct ReplayCursor {
-    ops: Vec<Op>,
+    log: OpLog,
     next: usize,
     error: Option<ReplayError>,
 }
@@ -150,7 +150,7 @@ impl ReplayCursor {
     /// Starts a cursor at the beginning of `log`.
     pub fn new(log: OpLog) -> Self {
         ReplayCursor {
-            ops: log.into_ops(),
+            log,
             next: 0,
             error: None,
         }
@@ -173,15 +173,19 @@ impl ReplayCursor {
     }
 
     fn take_next(&mut self, wanted: &str) -> Option<(usize, Op)> {
-        if self.next >= self.ops.len() {
-            self.poison(ReplayError::LogExhausted {
-                wanted: wanted.to_string(),
-            });
-            return None;
-        }
         let index = self.next;
-        self.next += 1;
-        Some((index, self.ops[index].clone()))
+        match self.log.get(index) {
+            Some(op) => {
+                self.next += 1;
+                Some((index, op))
+            }
+            None => {
+                self.poison(ReplayError::LogExhausted {
+                    wanted: wanted.to_string(),
+                });
+                None
+            }
+        }
     }
 
     /// Substitutes the next recorded draw for `stream`, verifying it lies
@@ -284,7 +288,7 @@ impl ReplayCursor {
         if let Some(error) = self.error {
             return Err(error);
         }
-        let remaining = self.ops.len() - self.next;
+        let remaining = self.log.len() - self.next;
         if remaining > 0 {
             return Err(ReplayError::LogNotExhausted { remaining });
         }

@@ -7,6 +7,12 @@ use std::ops::{Add, AddAssign, Sub};
 /// and measures intervals (e.g. convergence times). It has no relation to
 /// wall-clock time.
 ///
+/// Advancement (`+` / `+=`) is **checked** arithmetic: a run that would
+/// push virtual time past `u64::MAX` ticks panics instead of silently
+/// wrapping or clamping — at million-process scale a wrapped deadline
+/// would corrupt event ordering far from the bug. Differences
+/// ([`since`](SimTime::since), `-`) remain saturating.
+///
 /// # Example
 ///
 /// ```
@@ -48,13 +54,17 @@ impl From<u64> for SimTime {
 impl Add<u64> for SimTime {
     type Output = SimTime;
     fn add(self, ticks: u64) -> SimTime {
-        SimTime(self.0.saturating_add(ticks))
+        SimTime(
+            self.0
+                .checked_add(ticks)
+                .expect("SimTime overflow: virtual time advanced past u64::MAX ticks"),
+        )
     }
 }
 
 impl AddAssign<u64> for SimTime {
     fn add_assign(&mut self, ticks: u64) {
-        self.0 = self.0.saturating_add(ticks);
+        *self = *self + ticks;
     }
 }
 
@@ -91,9 +101,25 @@ mod tests {
     }
 
     #[test]
-    fn add_saturates() {
-        let t = SimTime::from(u64::MAX) + 1;
+    fn add_at_the_limit_is_exact() {
+        let t = SimTime::from(u64::MAX - 1) + 1;
         assert_eq!(t.ticks(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn add_past_u64_max_panics_loudly() {
+        // Million-process runs advance time by billions of ticks; a silent
+        // wrap (or clamp) would corrupt event ordering, so advancement is
+        // checked arithmetic.
+        let _ = SimTime::from(u64::MAX) + 1;
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn add_assign_past_u64_max_panics_loudly() {
+        let mut t = SimTime::from(u64::MAX);
+        t += 2;
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod mode;
 mod msg;
 mod process;
 mod ra;
+pub mod ring;
 mod view;
 mod workload;
 
@@ -58,5 +59,6 @@ pub use mode::Mode;
 pub use msg::TmeMsg;
 pub use process::{Implementation, TmeProcess};
 pub use ra::RaMe;
+pub use ring::{ring, RingConfig, RingMsg, RingProc, RingStats, REGEN_TIMER};
 pub use view::{LspecView, ProcSnapshot, TmeIntrospect};
 pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,452 @@
+//! Token-ring mutual exclusion with θ-timed regeneration — the O(1)
+//! per-process TME model used for 10³–10⁶-process scale experiments.
+//!
+//! See [`RingProc`] for the protocol and the stabilization argument, and
+//! the `theta-sweep` experiment in `graybox-experiments` for the
+//! θ-tuning curves this model exists to measure.
+
+use graybox_clock::ProcessId;
+use graybox_rng::RngCore;
+use graybox_simnet::{Context, Corruptible, Process, SimTime, TimerTag, TimerTagExt};
+
+use crate::{Mode, TmeClient, RELEASE_TIMER};
+
+/// Timer tag of the ring's θ-regeneration heartbeat. Lives in the wrapper
+/// namespace (`>= WRAPPER_BASE`): the regeneration rule *is* the stabilizing
+/// wrapper of this protocol, fused into the process for scale.
+pub const REGEN_TIMER: TimerTag = TimerTag::WRAPPER_BASE;
+
+/// Tuning parameters of a [`RingProc`].
+///
+/// `theta` is the paper's θ: the timeout after which a process that has
+/// not seen the token presumes it lost and regenerates it. The θ-sweep
+/// experiments chart the tradeoff this knob controls — small θ recovers
+/// from token loss quickly but fires spurious regenerations whenever a
+/// legitimate circulation takes longer than θ (message overhead), large θ
+/// never fires spuriously but leaves the ring dead for a long time after
+/// a real loss (recovery latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Regeneration timeout in ticks. Must comfortably exceed one token
+    /// circulation (≈ `n ×` mean hop delay) to avoid spurious regens.
+    pub theta: u64,
+    /// Default critical-section duration for requests that do not carry
+    /// their own (and the duration used after corruption repair).
+    pub eat_for: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            theta: 1024,
+            eat_for: 4,
+        }
+    }
+}
+
+/// The circulating token. The epoch is `(round << 32) | regenerator-pid`:
+/// regenerating increments the round, so any surviving older token — or a
+/// lower-pid token regenerated in the same round — compares stale and is
+/// dropped on receipt. Total order on epochs ⇒ at most one token wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingMsg {
+    /// `(round << 32) | pid` of the regeneration that minted this token.
+    pub epoch: u64,
+}
+
+/// Per-process counters of a [`RingProc`], for the θ-sweep curves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Critical-section entries.
+    pub entries: u64,
+    /// Token regenerations fired by this process.
+    pub regens: u64,
+    /// Stale (lower-epoch) tokens dropped on receipt.
+    pub stale: u64,
+    /// Valid tokens received while already eating — the signature of two
+    /// live tokens, i.e. a transient mutual-exclusion hazard window.
+    pub overlaps: u64,
+    /// Total hungry→eating wait, summed over entries.
+    pub wait_sum: u64,
+    /// Worst single hungry→eating wait.
+    pub wait_max: u64,
+}
+
+/// Token-ring mutual exclusion with θ-timed token regeneration — the
+/// workspace's *scalable* TME model.
+///
+/// The timestamp implementations ([`crate::RaMe`] and friends) broadcast
+/// to all peers and hold `O(n)` state per process, so an n-process system
+/// costs `O(n²)` memory and messages — fine for verifying the paper's
+/// claims at n ≤ 5, hopeless at n = 10⁶. `RingProc` holds `O(1)` state
+/// (two u64s of protocol state plus counters) and sends `O(1)` messages
+/// per event: a single token circulates pid-order around the ring and its
+/// holder may eat.
+///
+/// Token loss (the §3.1 fault model: drop, flush, corruption of the
+/// eating process) is repaired by the θ rule: a process that has seen no
+/// token for θ ticks mints a fresh one with a higher epoch, sending it
+/// *to itself through its own channel* so the regenerated token is itself
+/// subject to the fault model. Duplicate tokens from concurrent
+/// regenerations are resolved by the epoch order — stale tokens are
+/// dropped on first receipt by a process that has seen a higher epoch.
+/// Repeated regeneration backs off exponentially (up to 8θ) so a
+/// partitioned-looking ring does not flood itself.
+#[derive(Debug, Clone)]
+pub struct RingProc {
+    id: ProcessId,
+    n: u32,
+    cfg: RingConfig,
+    mode: Mode,
+    /// Highest token epoch witnessed (adopted on receipt, bumped on regen).
+    epoch: u64,
+    /// Last time a valid token was seen (received or forwarded).
+    last_token_at: SimTime,
+    /// When the current hunger began (valid while hungry).
+    hungry_since: SimTime,
+    /// Current regeneration timeout; θ after a token sighting, doubling
+    /// per regeneration up to 8θ.
+    backoff: u64,
+    /// Remaining eat duration for the current/next critical section.
+    eat_for: u64,
+    stats: RingStats,
+}
+
+impl RingProc {
+    /// Creates process `id` of an `n`-process ring. In the initial state
+    /// everyone is thinking with epoch 0; process 0 mints the first token
+    /// at start.
+    pub fn new(id: ProcessId, n: u32, cfg: RingConfig) -> Self {
+        assert!(n > 0, "a ring needs at least one process");
+        assert!(id.0 < n, "{id} outside ring of {n}");
+        RingProc {
+            id,
+            n,
+            cfg,
+            mode: Mode::Thinking,
+            epoch: 0,
+            last_token_at: SimTime::ZERO,
+            hungry_since: SimTime::ZERO,
+            backoff: cfg.theta,
+            eat_for: cfg.eat_for,
+            stats: RingStats::default(),
+        }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Highest token epoch this process has witnessed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// This process's counters.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+
+    fn successor(&self) -> ProcessId {
+        ProcessId((self.id.0 + 1) % self.n)
+    }
+
+    fn theta(&self) -> u64 {
+        self.cfg.theta.max(1)
+    }
+
+    fn forward(&mut self, ctx: &mut Context<RingMsg>) {
+        ctx.send(self.successor(), RingMsg { epoch: self.epoch });
+        self.last_token_at = ctx.now();
+    }
+
+    fn enter(&mut self, ctx: &mut Context<RingMsg>) {
+        self.mode = Mode::Eating;
+        self.stats.entries += 1;
+        let waited = ctx.now().since(self.hungry_since);
+        self.stats.wait_sum = self.stats.wait_sum.saturating_add(waited);
+        self.stats.wait_max = self.stats.wait_max.max(waited);
+        ctx.set_timer(RELEASE_TIMER, self.eat_for.max(1));
+    }
+
+    fn arm_regen(&self, ctx: &mut Context<RingMsg>, delay: u64) {
+        ctx.set_timer(REGEN_TIMER, delay.max(1));
+    }
+}
+
+impl Process for RingProc {
+    type Msg = RingMsg;
+    type Client = TmeClient;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<RingMsg>) {
+        if self.id.0 == 0 {
+            // Mint the inaugural token; it travels 0 → 1 → … around the
+            // ring. Sent through the channel, so "channels improperly
+            // initialized" faults can eat it before anyone ever sees it.
+            self.forward(ctx);
+        }
+        // Deterministic per-process jitter so a million regen timers do
+        // not all land on the same tick.
+        self.arm_regen(ctx, self.theta() + u64::from(self.id.0 % 61));
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: RingMsg, ctx: &mut Context<RingMsg>) {
+        if msg.epoch < self.epoch {
+            self.stats.stale += 1;
+            return; // an older token lost the regeneration race: drop it
+        }
+        self.epoch = msg.epoch;
+        self.last_token_at = ctx.now();
+        self.backoff = self.theta();
+        match self.mode {
+            Mode::Eating => {
+                // Two live tokens reached us. Adopt the higher epoch and
+                // swallow the extra token: we already hold one (ours will
+                // be forwarded at release, carrying the adopted epoch).
+                self.stats.overlaps += 1;
+            }
+            Mode::Hungry => self.enter(ctx),
+            Mode::Thinking => self.forward(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<RingMsg>) {
+        match tag {
+            RELEASE_TIMER if self.mode.is_eating() => {
+                self.mode = Mode::Thinking;
+                self.forward(ctx);
+            }
+            REGEN_TIMER => {
+                let idle = ctx.now().since(self.last_token_at);
+                if idle >= self.backoff && !self.mode.is_eating() {
+                    // θ expired with no token sighting: presume it lost
+                    // and mint a successor epoch. The new token is sent to
+                    // *ourselves through our own channel* so it, too, can
+                    // be dropped, delayed, or corrupted.
+                    let round = self.epoch >> 32;
+                    self.epoch = ((round + 1) << 32) | u64::from(self.id.0);
+                    self.stats.regens += 1;
+                    ctx.send(self.id, RingMsg { epoch: self.epoch });
+                    self.last_token_at = ctx.now();
+                    self.backoff = self
+                        .backoff
+                        .saturating_mul(2)
+                        .min(self.theta().saturating_mul(8));
+                    self.arm_regen(ctx, self.backoff);
+                } else {
+                    // Not yet due (or busy eating): check again when the
+                    // current backoff window could actually have elapsed.
+                    self.arm_regen(ctx, self.backoff.saturating_sub(idle));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_client(&mut self, event: TmeClient, ctx: &mut Context<RingMsg>) {
+        match event {
+            TmeClient::Request { eat_for } => {
+                if self.mode.is_thinking() {
+                    self.mode = Mode::Hungry;
+                    self.hungry_since = ctx.now();
+                    self.eat_for = eat_for.max(1);
+                }
+            }
+            TmeClient::Release => {
+                if self.mode.is_eating() {
+                    self.mode = Mode::Thinking;
+                    self.forward(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Corruptible for RingProc {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        // Arbitrary type-valid protocol state; identity, ring size, config
+        // and the experiment counters are outside the modelled state space.
+        self.mode.corrupt(rng);
+        self.epoch = u64::from(rng.next_u32() % 8) << 32 | u64::from(rng.next_u32() % self.n);
+        let mut t = 0u64;
+        t.corrupt(rng);
+        self.last_token_at = SimTime::from(t % (self.theta() * 4));
+        self.hungry_since = self.last_token_at;
+        self.backoff = (u64::from(rng.next_u32()) % self.theta().saturating_mul(8)).max(1);
+        self.eat_for = u64::from(rng.next_u32() % 16).max(1);
+    }
+}
+
+impl Corruptible for RingMsg {
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        self.epoch.corrupt(rng);
+    }
+}
+
+/// Builds an `n`-process ring with the given config.
+pub fn ring(n: u32, cfg: RingConfig) -> Vec<RingProc> {
+    (0..n)
+        .map(|i| RingProc::new(ProcessId(i), n, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox_simnet::{SimConfig, Simulation};
+
+    fn sim(n: u32, theta: u64, seed: u64) -> Simulation<RingProc> {
+        let cfg = RingConfig { theta, eat_for: 3 };
+        Simulation::new(ring(n, cfg), SimConfig::with_seed(seed))
+    }
+
+    fn total_entries(s: &Simulation<RingProc>) -> u64 {
+        s.processes().map(|p| p.stats().entries).sum()
+    }
+
+    fn total_regens(s: &Simulation<RingProc>) -> u64 {
+        s.processes().map(|p| p.stats().regens).sum()
+    }
+
+    #[test]
+    fn token_circulates_and_grants_every_request() {
+        let mut s = sim(8, 512, 1);
+        for i in 0..8 {
+            s.schedule_client(
+                SimTime::from(1 + u64::from(i)),
+                ProcessId(i),
+                TmeClient::Request { eat_for: 3 },
+            );
+        }
+        s.run_until(SimTime::from(2_000));
+        for p in s.processes() {
+            assert_eq!(p.stats().entries, 1, "{} starved", p.id());
+            assert!(p.mode().is_thinking());
+        }
+        // θ far above circulation time: no regeneration fired.
+        assert_eq!(total_regens(&s), 0);
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_throughout_a_faultless_run() {
+        let mut s = sim(5, 512, 2);
+        for i in 0..5 {
+            s.schedule_client(
+                SimTime::from(1),
+                ProcessId(i),
+                TmeClient::Request { eat_for: 4 },
+            );
+        }
+        while s.peek_time().is_some_and(|t| t <= SimTime::from(3_000)) {
+            s.step();
+            let eating = s.processes().filter(|p| p.mode().is_eating()).count();
+            assert!(eating <= 1, "two eaters at {}", s.now());
+        }
+        assert_eq!(total_entries(&s), 5);
+    }
+
+    #[test]
+    fn lost_token_is_regenerated_within_theta_backoff() {
+        let mut s = sim(4, 64, 3);
+        s.schedule_client(
+            SimTime::from(1),
+            ProcessId(2),
+            TmeClient::Request { eat_for: 2 },
+        );
+        // Execute the start events (time 0) so the inaugural token is in
+        // flight, then eat it before it leaves process 0's channel.
+        while s.peek_time() == Some(SimTime::ZERO) {
+            s.step();
+        }
+        assert_eq!(s.flush_channel(ProcessId(0), ProcessId(1)), 1);
+        s.run_until(SimTime::from(4_000));
+        assert!(total_regens(&s) >= 1, "no regeneration fired");
+        assert_eq!(
+            s.process(ProcessId(2)).stats().entries,
+            1,
+            "request never granted after token loss"
+        );
+    }
+
+    #[test]
+    fn stale_tokens_are_dropped_not_double_granted() {
+        // θ=8 is *below* one circulation (3 hops × up to 8 ticks each),
+        // so regenerations race the still-live token constantly; the
+        // epoch order must keep entries consistent regardless.
+        let mut s = sim(3, 8, 4);
+        for i in 0..3 {
+            s.schedule_client(
+                SimTime::from(5 + 30 * u64::from(i)),
+                ProcessId(i),
+                TmeClient::Request { eat_for: 2 },
+            );
+        }
+        s.run_until(SimTime::from(5_000));
+        let stale: u64 = s.processes().map(|p| p.stats().stale).sum();
+        let regens = total_regens(&s);
+        assert!(regens > 0, "θ below circulation time must regenerate");
+        assert!(stale > 0, "regeneration races must drop stale tokens");
+        assert_eq!(total_entries(&s), 3);
+    }
+
+    #[test]
+    fn corruption_is_type_valid_and_deterministic() {
+        use graybox_rng::rngs::SmallRng;
+        use graybox_rng::SeedableRng;
+        let mut a = RingProc::new(ProcessId(1), 4, RingConfig::default());
+        let mut b = RingProc::new(ProcessId(1), 4, RingConfig::default());
+        a.corrupt(&mut SmallRng::seed_from_u64(7));
+        b.corrupt(&mut SmallRng::seed_from_u64(7));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.id, ProcessId(1));
+        assert_eq!(a.n, 4);
+        let mut msg = RingMsg { epoch: 0 };
+        msg.corrupt(&mut SmallRng::seed_from_u64(8));
+        let mut msg2 = RingMsg { epoch: 0 };
+        msg2.corrupt(&mut SmallRng::seed_from_u64(8));
+        assert_eq!(msg, msg2);
+    }
+
+    #[test]
+    fn eating_process_corrupted_to_thinking_loses_token_but_ring_recovers() {
+        let mut s = sim(4, 64, 6);
+        s.schedule_client(
+            SimTime::from(1),
+            ProcessId(1),
+            TmeClient::Request { eat_for: 400 },
+        );
+        // Step until process 1 is eating (holds the token).
+        while s.peek_time().is_some_and(|t| t <= SimTime::from(1_000))
+            && !s.process(ProcessId(1)).mode().is_eating()
+        {
+            s.step();
+        }
+        assert!(s.process(ProcessId(1)).mode().is_eating());
+        // Transient corruption knocks it out of the CS: the held token
+        // evaporates with the mode bit.
+        while s.process(ProcessId(1)).mode().is_eating() {
+            s.corrupt_process(ProcessId(1));
+        }
+        let before = total_regens(&s);
+        s.schedule_client(
+            SimTime::from(s.now().ticks() + 1),
+            ProcessId(3),
+            TmeClient::Request { eat_for: 2 },
+        );
+        s.run_until(SimTime::from(8_000));
+        assert!(total_regens(&s) > before, "token loss went unrepaired");
+        assert_eq!(s.process(ProcessId(3)).stats().entries, 1);
+    }
+
+    #[test]
+    fn ring_constructor_checks_bounds() {
+        let procs = ring(3, RingConfig::default());
+        assert_eq!(procs.len(), 3);
+        assert_eq!(procs[2].successor(), ProcessId(0));
+    }
+}

@@ -1,0 +1,59 @@
+//! Scale acceptance for the timer-wheel simulator: a 10⁴-process ring
+//! TME under fault traffic must run a full θ-sweep point — warmup,
+//! token kill through the oplog'd fault-targeting draw, regeneration,
+//! recovery detection — inside tight wall-clock and memory budgets.
+//!
+//! This is the root-package twin of the `sim_scale/*` bench rows: the
+//! bench gates relative speed (wheel vs reference heap); this test
+//! gates absolute cost, so a regression that slowed *both* engines
+//! equally would still be caught. Budgets are sized for debug builds on
+//! a loaded 1-core CI runner (release runs the same point in well under
+//! a second).
+
+use std::time::Instant;
+
+use graybox_experiments::sweep::sweep_point;
+
+/// Peak resident set size of this process in kibibytes, read from
+/// `VmHWM` in `/proc/self/status`. `None` off Linux (the budget check
+/// is skipped there; CI runs Linux).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn ring_10k_under_token_loss_stays_in_budget() {
+    let n = 10_000;
+    let theta = u64::from(n) * 4; // mid-grid θ/n from the sweep
+    let start = Instant::now();
+    let point = sweep_point(n, theta, 2024);
+    let wall = start.elapsed();
+
+    // The ring actually worked: events flowed, the killed token was
+    // regenerated, and the post-loss demand was served.
+    assert!(point.events > u64::from(n), "suspiciously few events");
+    assert!(
+        point.recovery_ticks.is_some(),
+        "10^4-process ring never recovered from token loss"
+    );
+    assert!(point.msgs_per_grant > 0.0);
+
+    // Wall-clock budget: single-digit seconds even in debug mode.
+    assert!(
+        wall.as_secs() < 10,
+        "10^4-process sweep point took {wall:?} (budget 10s)"
+    );
+
+    // Memory budget: the packed per-process state + sparse channels must
+    // keep the whole run under half a gigabyte of peak RSS. (VmHWM is a
+    // process-lifetime high-water mark, so earlier tests in this binary
+    // only make the check stricter.)
+    if let Some(kib) = peak_rss_kib() {
+        assert!(
+            kib < 512 * 1024,
+            "peak RSS {kib} KiB exceeds the 512 MiB budget"
+        );
+    }
+}
